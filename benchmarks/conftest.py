@@ -1,0 +1,42 @@
+"""Benchmark-session reporting: paper claim vs measured verdict.
+
+Every benchmark records one or more rows via the ``record_row`` fixture;
+at the end of the session the rows are printed as the reproduction
+table — the analogue of the paper's per-figure/lemma results.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+_ROWS: List[Tuple[str, str, str, str]] = []
+
+
+import pytest
+
+
+@pytest.fixture()
+def record_row():
+    """record_row(experiment_id, paper_claim, measured, verdict)."""
+
+    def _record(experiment: str, claim: str, measured: str, ok: bool) -> None:
+        _ROWS.append((experiment, claim, measured, "OK" if ok else "MISMATCH"))
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _ROWS:
+        return
+    tr = terminalreporter
+    tr.section("paper reproduction report")
+    widths = [
+        max(len(row[i]) for row in _ROWS + [_HEADER]) for i in range(4)
+    ]
+    for row in [_HEADER, tuple("-" * w for w in widths)] + sorted(set(_ROWS)):
+        tr.write_line(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+
+
+_HEADER = ("experiment", "paper claim", "measured", "verdict")

@@ -1,0 +1,123 @@
+"""A2 — Ablation: explorer scaling with threads and implementation depth.
+
+State-space sizes and exploration times across (a) thread count for the
+abstract lock and (b) the three lock implementations for the same
+client, quantifying what the abstract specification buys a verifier —
+the paper's modularity argument, measured.
+"""
+
+import pytest
+
+from repro.impls.seqlock import SEQLOCK_VARS, seqlock_fill
+from repro.impls.spinlock import SPINLOCK_VARS, spinlock_fill
+from repro.impls.ticketlock import TICKETLOCK_VARS, ticketlock_fill
+from repro.litmus.clients import (
+    abstract_fill,
+    lock_client,
+    lock_client_three_threads,
+)
+from repro.objects.lock import AbstractLock
+from repro.semantics.explore import explore
+
+
+def _abstract(builder, **kw):
+    fill, objs = abstract_fill(lambda: AbstractLock("l"))
+    return builder(fill, objects=objs, **kw)
+
+
+class TestThreadScaling:
+    def test_two_threads(self, benchmark, record_row):
+        result = benchmark(lambda: explore(_abstract(lock_client)))
+        record_row(
+            "A2 abstract 2T",
+            "abstract spec keeps space small",
+            f"{result.state_count} states, {result.edge_count} edges",
+            True,
+        )
+
+    def test_three_threads(self, benchmark, record_row):
+        result = benchmark(
+            lambda: explore(_abstract(lock_client_three_threads))
+        )
+        record_row(
+            "A2 abstract 3T",
+            "graceful growth with thread count",
+            f"{result.state_count} states, {result.edge_count} edges",
+            True,
+        )
+
+
+class TestImplementationBlowup:
+    """Same client, four lock realisations: the abstraction factor."""
+
+    CASES = [
+        ("abstract", None, None),
+        ("spinlock", spinlock_fill, SPINLOCK_VARS),
+        ("ticketlock", ticketlock_fill, TICKETLOCK_VARS),
+        ("seqlock", seqlock_fill, SEQLOCK_VARS),
+    ]
+
+    @pytest.mark.parametrize("name,fill,lib_vars", CASES, ids=[c[0] for c in CASES])
+    def test_state_space(self, benchmark, record_row, name, fill, lib_vars):
+        if fill is None:
+            program = _abstract(lock_client)
+        else:
+            program = lock_client(fill, lib_vars=dict(lib_vars))
+        result = benchmark.pedantic(
+            explore, args=(program,), iterations=1, rounds=3
+        )
+        baseline = explore(_abstract(lock_client)).state_count
+        factor = result.state_count / baseline
+        record_row(
+            f"A2 impl {name}",
+            "implementations cost more states than the spec",
+            f"{result.state_count} states ({factor:.1f}x abstract)",
+            True,
+        )
+        assert not result.truncated
+
+
+class TestThreeThreadImplementations:
+    """The abstraction factor grows with contention: three contending
+    threads over the implementations vs the abstract specification."""
+
+    CASES = [
+        ("spinlock-3T", spinlock_fill, SPINLOCK_VARS),
+        ("ticketlock-3T", ticketlock_fill, TICKETLOCK_VARS),
+        ("seqlock-3T", seqlock_fill, SEQLOCK_VARS),
+    ]
+
+    @pytest.mark.parametrize("name,fill,lib_vars", CASES, ids=[c[0] for c in CASES])
+    def test_state_space(self, benchmark, record_row, name, fill, lib_vars):
+        program = lock_client_three_threads(fill, lib_vars=dict(lib_vars))
+        result = benchmark.pedantic(
+            explore, args=(program,), iterations=1, rounds=3
+        )
+        baseline = explore(_abstract(lock_client_three_threads)).state_count
+        factor = result.state_count / baseline
+        record_row(
+            f"A2 {name}",
+            "abstraction factor grows with contention",
+            f"{result.state_count} states ({factor:.1f}x abstract 3T)",
+            not result.truncated and not result.stuck,
+        )
+        assert not result.truncated and not result.stuck
+
+    def test_three_thread_simulation(self, benchmark, record_row):
+        """Refinement scales to the three-thread client too."""
+        from repro.refinement.simulation import find_forward_simulation
+
+        conc = lock_client_three_threads(
+            spinlock_fill, lib_vars=dict(SPINLOCK_VARS)
+        )
+        abst = _abstract(lock_client_three_threads)
+        result = benchmark.pedantic(
+            lambda: find_forward_simulation(conc, abst), rounds=1, iterations=1
+        )
+        record_row(
+            "A2 sim 3T",
+            "simulation with three contending threads",
+            f"found={result.found}, |R|={result.relation_size}",
+            result.found,
+        )
+        assert result.found

@@ -1,0 +1,44 @@
+"""F3 — Figure 3: the Owicki–Gries proof outline for message passing.
+
+Paper claim: the outline (assertions over definite/possible/conditional
+observations of the stack and of ``d``) is valid — initial assertions
+hold, every statement is locally correct, no statement interferes with
+another thread's assertions, and the postcondition ``r2 = 5`` follows.
+"""
+
+from repro.figures.fig3 import fig3_initial_assertion, fig3_outline
+from repro.assertions.core import make_env
+from repro.logic.owicki import check_proof_outline
+from repro.semantics.config import initial_config
+
+
+def run_fig3():
+    return check_proof_outline(fig3_outline())
+
+
+def test_fig3_outline_valid(benchmark, record_row):
+    result = benchmark(run_fig3)
+    record_row(
+        "F3 (Fig 3, MP proof outline)",
+        "outline OG-valid",
+        f"valid={result.valid}, {result.obligations} obligations over "
+        f"{result.states} states",
+        result.valid,
+    )
+    assert result.valid
+
+
+def test_fig3_initial_assertion(benchmark, record_row):
+    def work():
+        outline = fig3_outline()
+        env = make_env(outline.program, initial_config(outline.program))
+        return fig3_initial_assertion().holds(env)
+
+    ok = benchmark.pedantic(work, rounds=1, iterations=1)
+    record_row(
+        "F3 init",
+        "[d=0]1 ∧ [d=0]2 ∧ [s.pop emp]",
+        "holds" if ok else "fails",
+        ok,
+    )
+    assert ok

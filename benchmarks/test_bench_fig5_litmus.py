@@ -1,0 +1,44 @@
+"""F5 — Figure 5: the memory semantics, validated by the litmus battery.
+
+The paper's Read/Write/Update rules define RC11 RAR; the battery checks
+the exact allowed-outcome sets of the standard litmus shapes (MP, SB,
+LB, coherence, IRIW, 2+2W, RMW atomicity) in both relaxed and
+release/acquire variants.
+"""
+
+import pytest
+
+from repro.litmus.catalog import LITMUS_TESTS, run_litmus
+
+
+@pytest.mark.parametrize(
+    "test", LITMUS_TESTS, ids=[t.name for t in LITMUS_TESTS]
+)
+def test_litmus(benchmark, record_row, test):
+    result = benchmark.pedantic(
+        run_litmus, args=(test,), iterations=1, rounds=3
+    )
+    record_row(
+        f"F5 litmus {test.name}",
+        ("weak allowed" if test.weak_allowed else "weak forbidden"),
+        (
+            f"weak {'observed' if result['weak_observed'] else 'absent'}, "
+            f"{result['states']} states"
+        ),
+        result["verdict_ok"],
+    )
+    assert result["verdict_ok"]
+
+
+def test_battery_summary(benchmark, record_row):
+    results = benchmark.pedantic(
+        lambda: [run_litmus(t) for t in LITMUS_TESTS], rounds=1, iterations=1
+    )
+    ok = all(r["verdict_ok"] for r in results)
+    record_row(
+        "F5 battery",
+        f"{len(LITMUS_TESTS)} litmus verdicts match RC11 RAR",
+        f"{sum(r['verdict_ok'] for r in results)}/{len(results)} exact",
+        ok,
+    )
+    assert ok

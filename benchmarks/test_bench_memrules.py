@@ -1,0 +1,94 @@
+"""L5.2 — The read/write/update proof rules of §5.2 (prior-work set).
+
+The paper builds on the rule collection of Dalvandi et al. [5, 6] for
+plain memory accesses; this bench checks those rules over the litmus
+universes, including the weak-memory subtlety controls (the unguarded
+write rule is unsound; the MP-read rule needs the acquire annotation).
+"""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit
+from repro.lang.program import Program, Thread
+from repro.logic.memrules import (
+    check_fai_self,
+    check_mp_read,
+    check_possible_read,
+    check_read_self,
+    check_read_stable,
+    check_write_self,
+    check_write_self_unsound_variant,
+    check_write_stable,
+)
+from repro.logic.triples import collect_universe
+from tests.conftest import mp_ra, mp_relaxed
+
+
+@pytest.fixture(scope="module")
+def groups():
+    t1 = A.seq(A.Write("d", Lit(5)), A.Write("f", Lit(1)))
+    t2 = A.seq(A.Write("d", Lit(3)), A.Read("r", "f"))
+    racy = Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"d": 0, "f": 0},
+    )
+    return collect_universe([mp_relaxed(), mp_ra(), racy])
+
+
+def sweep(groups):
+    verdicts = {}
+    for program, universe in groups:
+        for t in program.tids:
+            verdicts.setdefault("W-self", []).append(
+                check_write_self(program, universe, t, "d", 0, 9).valid
+            )
+            verdicts.setdefault("R-self", []).append(
+                check_read_self(program, universe, t, "d", 0).valid
+            )
+            verdicts.setdefault("MP-read", []).append(
+                check_mp_read(program, universe, t, "f", 1, "d", 5).valid
+            )
+            verdicts.setdefault("U-self", []).append(
+                check_fai_self(program, universe, t, "d", 0).valid
+            )
+            verdicts.setdefault("R-poss", []).append(
+                check_possible_read(program, universe, t, "d", 0)["ok"]
+            )
+        verdicts.setdefault("W-stable", []).append(
+            check_write_stable(program, universe, "1", "2", "d", 0, "f", 7).valid
+        )
+        verdicts.setdefault("R-stable", []).append(
+            check_read_stable(program, universe, "1", "2", "d", 0, "f").valid
+        )
+    return verdicts
+
+
+def test_memory_rules(benchmark, record_row, groups):
+    verdicts = benchmark.pedantic(sweep, args=(groups,), iterations=1, rounds=3)
+    for rule, results in sorted(verdicts.items()):
+        ok = all(results)
+        record_row(
+            f"§5.2 {rule}",
+            "valid (prior-work rule set)",
+            f"{sum(results)}/{len(results)} instances valid",
+            ok,
+        )
+        assert ok
+
+
+def test_unsound_write_rule_control(benchmark, record_row, groups):
+    program, universe = groups[2]
+    result = benchmark.pedantic(
+        lambda: check_write_self_unsound_variant(program, universe, "2", "d", 9),
+        rounds=1,
+        iterations=1,
+    )
+    ok = not result.valid
+    record_row(
+        "§5.2 W-self control",
+        "{true} x:=v {[x=v]} unsound under weak memory",
+        f"counterexamples found: {len(result.failures)}",
+        ok,
+    )
+    assert ok

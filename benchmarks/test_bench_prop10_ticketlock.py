@@ -1,0 +1,87 @@
+"""P10 — Proposition 10: the ticket lock refines the abstract lock.
+
+Paper claim: for synchronisation-free clients there is a forward
+simulation between the abstract lock and the ticket lock (the FAI and
+unsuccessful serving reads stutter; the successful serving read is the
+refining step).
+"""
+
+from repro.refinement.simulation import find_forward_simulation
+from tests.conftest import abstract_lock_client, ticketlock_client
+
+
+def run_prop10():
+    return find_forward_simulation(ticketlock_client(), abstract_lock_client())
+
+
+def test_prop10_simulation(benchmark, record_row):
+    result = benchmark(run_prop10)
+    record_row(
+        "P10 (ticketlock ⊑ abstract lock)",
+        "forward simulation exists",
+        f"found={result.found}, |R|={result.relation_size}, "
+        f"{result.concrete_states} conc / {result.abstract_states} abs states",
+        result.found,
+    )
+    assert result.found
+
+
+def test_prop10_writer_client(benchmark, record_row):
+    result = benchmark.pedantic(
+        lambda: find_forward_simulation(
+            ticketlock_client(readers=False), abstract_lock_client(readers=False)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_row(
+        "P10 writer client",
+        "simulation across client battery",
+        f"found={result.found}, |R|={result.relation_size}",
+        result.found,
+    )
+    assert result.found
+
+
+def test_prop10_trace_confirmation(benchmark, record_row):
+    from repro.refinement.tracecheck import check_program_refinement
+
+    result = benchmark.pedantic(
+        lambda: check_program_refinement(
+            ticketlock_client(), abstract_lock_client()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_row(
+        "P10 traces",
+        "C[ticketlock] ⊑ C[abstract]",
+        f"refines={result.refines} "
+        f"({result.concrete_traces} conc / {result.abstract_traces} abs traces)",
+        result.refines,
+    )
+    assert result.refines
+
+
+def test_prop10_supplied_relation(benchmark, record_row):
+    """The paper's workflow: a hand-built relation (client alignment +
+    serving-count correspondence) discharged against Definition 8."""
+    from repro.refinement.checkrel import check_simulation_relation
+    from tests.test_refinement_checkrel import TestTicketlockRelation
+
+    result = benchmark.pedantic(
+        lambda: check_simulation_relation(
+            ticketlock_client(),
+            abstract_lock_client(),
+            TestTicketlockRelation.relation,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_row(
+        "P10 hand-built R",
+        "supplied relation satisfies Definition 8",
+        f"valid={result.valid}, {result.related_pairs} related pairs",
+        result.valid,
+    )
+    assert result.valid

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Run the RC11 RAR litmus battery and print the verdict table.
+
+Every test enumerates the complete behaviour set of a standard litmus
+shape under the paper's memory semantics (Figure 5) and compares it with
+the RC11 RAR verdict from the literature: which weak behaviours the
+model admits (MP-relaxed, SB, IRIW, 2+2W) and which it forbids
+(MP-release/acquire, load buffering, coherence violations, RMW
+atomicity violations).
+
+Run:  python examples/litmus_explorer.py
+"""
+
+from repro.litmus.catalog import LITMUS_TESTS, run_litmus
+
+
+def main() -> None:
+    header = f"{'test':18s} {'states':>6s} {'weak behaviour':>16s} {'outcomes':>9s} verdict"
+    print(header)
+    print("-" * len(header))
+    all_ok = True
+    for test in LITMUS_TESTS:
+        result = run_litmus(test)
+        weak = "observed" if result["weak_observed"] else "absent"
+        expected = "allowed" if test.weak_allowed else "forbidden"
+        ok = result["verdict_ok"]
+        all_ok &= ok
+        print(
+            f"{test.name:18s} {result['states']:6d} "
+            f"{weak + ' / ' + expected:>16s} {len(result['outcomes']):9d} "
+            f"{'OK' if ok else 'MISMATCH'}"
+        )
+    print("-" * len(header))
+    print(f"battery {'PASSES' if all_ok else 'FAILS'}: every outcome set "
+          "matches the RC11 RAR verdicts exactly")
+    print()
+    for test in LITMUS_TESTS[:2]:
+        result = run_litmus(test)
+        print(f"{test.name}: {test.description}")
+        print(f"  outcomes: {sorted(result['outcomes'], key=repr)}")
+
+
+if __name__ == "__main__":
+    main()

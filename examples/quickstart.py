@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: exploring weak-memory behaviours of a small program.
+
+Builds the classic message-passing litmus test in two variants — all
+relaxed, and release/acquire — and exhaustively enumerates every
+RC11 RAR behaviour of each.  The relaxed variant exhibits the stale
+read (r1 = 1 but r2 = 0); the annotated variant provably cannot.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Lit, Program, Thread, ast as A, explore
+
+
+def message_passing(release: bool, acquire: bool) -> Program:
+    """d := 5; f :=[R] 1  ||  r1 ←[A] f; r2 ← d."""
+    producer = A.seq(
+        A.Write("d", Lit(5)),
+        A.Write("f", Lit(1), release=release),
+    )
+    consumer = A.seq(
+        A.Read("r1", "f", acquire=acquire),
+        A.Read("r2", "d"),
+    )
+    return Program(
+        threads={"producer": Thread(producer), "consumer": Thread(consumer)},
+        client_vars={"d": 0, "f": 0},
+    )
+
+
+def main() -> None:
+    for label, release, acquire in [
+        ("relaxed", False, False),
+        ("release/acquire", True, True),
+    ]:
+        program = message_passing(release, acquire)
+        result = explore(program)
+        outcomes = sorted(
+            result.terminal_locals(("consumer", "r1"), ("consumer", "r2"))
+        )
+        print(f"message passing ({label}):")
+        print(f"  states explored : {result.state_count}")
+        print(f"  outcomes (r1,r2): {outcomes}")
+        stale = (1, 0) in outcomes
+        print(f"  stale read      : {'reachable' if stale else 'impossible'}")
+        print()
+
+    print("The release/acquire annotations remove exactly the (1, 0) row:")
+    print("reading the flag synchronises the consumer with every write the")
+    print("producer made before the releasing write — the paper's Figure 5")
+    print("Read rule merging the write's modification view into the reader.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Command-line entry point: ``python -m repro [command]``.
+
+Commands:
+
+* ``litmus``   — run the litmus battery and print the verdict table;
+* ``figures``  — verify the paper's figures (1, 2, 3, 7) end to end;
+* ``refine``   — verify all lock implementations against the abstract
+  lock across the client battery;
+* ``all``      — everything above (default).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def run_litmus() -> bool:
+    """Run the litmus battery; True iff every verdict matches RC11 RAR."""
+    from repro.litmus.catalog import LITMUS_TESTS, run_litmus
+
+    ok = True
+    print(f"{'litmus test':18s} {'states':>7s} {'weak':>10s} verdict")
+    for test in LITMUS_TESTS:
+        result = run_litmus(test)
+        ok &= result["verdict_ok"]
+        weak = "observed" if result["weak_observed"] else "absent"
+        print(
+            f"{test.name:18s} {result['states']:7d} {weak:>10s} "
+            f"{'OK' if result['verdict_ok'] else 'MISMATCH'}"
+        )
+    return ok
+
+
+def run_figures() -> bool:
+    """Verify the paper's figure programs and proof outlines."""
+    from repro.figures.fig1 import EXPECTED_OUTCOMES as F1
+    from repro.figures.fig1 import fig1_program
+    from repro.figures.fig2 import EXPECTED_OUTCOMES as F2
+    from repro.figures.fig2 import fig2_program
+    from repro.figures.fig3 import fig3_outline
+    from repro.figures.fig7 import EXPECTED_OUTCOMES as F7
+    from repro.figures.fig7 import fig7_outline, fig7_program
+    from repro.figures.mp_outline import mp_outline
+    from repro.logic.owicki import check_proof_outline
+    from repro.semantics.explore import explore
+
+    ok = True
+    out1 = explore(fig1_program()).terminal_locals(("2", "r2"))
+    print(f"Figure 1: outcomes {sorted(out1, key=repr)}  "
+          f"{'OK' if out1 == F1 else 'MISMATCH'}")
+    ok &= out1 == F1
+
+    out2 = explore(fig2_program()).terminal_locals(("2", "r2"))
+    print(f"Figure 2: outcomes {sorted(out2, key=repr)}  "
+          f"{'OK' if out2 == F2 else 'MISMATCH'}")
+    ok &= out2 == F2
+
+    r3 = check_proof_outline(fig3_outline())
+    print(f"Figure 3: outline valid = {r3.valid} "
+          f"({r3.obligations} obligations)")
+    ok &= r3.valid
+
+    rmp = check_proof_outline(mp_outline())
+    print(f"MP outline (variable-level): valid = {rmp.valid}")
+    ok &= rmp.valid
+
+    out7 = explore(fig7_program()).terminal_locals(
+        ("2", "rl"), ("2", "r1"), ("2", "r2")
+    )
+    print(f"Figure 7: outcomes {sorted(out7)}  "
+          f"{'OK' if out7 == F7 else 'MISMATCH'}")
+    ok &= out7 == F7
+
+    r7 = check_proof_outline(fig7_outline())
+    print(f"Lemma 4 : outline valid = {r7.valid} "
+          f"({r7.obligations} obligations)")
+    ok &= r7.valid
+    return ok
+
+
+def run_refine() -> bool:
+    """Verify every lock implementation against the abstract lock."""
+    from repro.impls.seqlock import SEQLOCK_VARS, seqlock_fill
+    from repro.impls.spinlock import SPINLOCK_VARS, spinlock_fill
+    from repro.impls.ticketlock import TICKETLOCK_VARS, ticketlock_fill
+    from repro.toolkit import verify_lock_implementation
+
+    ok = True
+    for fill, lib_vars in (
+        (seqlock_fill, SEQLOCK_VARS),
+        (ticketlock_fill, TICKETLOCK_VARS),
+        (spinlock_fill, SPINLOCK_VARS),
+    ):
+        report = verify_lock_implementation(fill, lib_vars)
+        print(report.describe())
+        ok &= report.ok
+    return ok
+
+
+def main(argv) -> int:
+    """Dispatch the CLI command; returns a process exit code."""
+    command = argv[1] if len(argv) > 1 else "all"
+    dispatch = {
+        "litmus": [run_litmus],
+        "figures": [run_figures],
+        "refine": [run_refine],
+        "all": [run_litmus, run_figures, run_refine],
+    }
+    if command not in dispatch:
+        print(__doc__)
+        return 2
+    ok = True
+    for i, job in enumerate(dispatch[command]):
+        if i:
+            print()
+        ok &= job()
+    print()
+    print("ALL CHECKS PASS" if ok else "SOME CHECKS FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

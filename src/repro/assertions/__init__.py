@@ -1,0 +1,77 @@
+"""The assertion language of Section 5.1.
+
+Assertions are composable predicates over *annotated configurations*: the
+full combined state ``(P, ls, γ, β)`` together with the program, so that
+proof outlines can refer to other threads' program counters (as the
+paper's Figures 3 and 7 do) and to both components' observability
+structure.
+
+Atoms mirror the paper exactly:
+
+=====================  =====================================================
+``PossibleValue``      ``⟨x = u⟩t`` — thread t may observe u for x
+``DefiniteValue``      ``[x = u]t`` — thread t can only see the last write,
+                       which wrote u
+``ConditionalValue``   ``⟨x = u⟩[y = v]t`` — reading u from x synchronises
+                       and establishes a definite observation of y
+``PossibleMethod``     ``⟨o.m⟩t`` — an o.m operation is observable to t
+``DefiniteMethod``     ``[o.m]t`` — t's view of o is the latest op, an o.m
+``ConditionalMethod``  ``⟨o.m⟩[y = v]t`` — synchronising with o.m
+                       establishes a definite client observation
+``Covered``            ``C_{o.m}`` — all uncovered ops on o are the latest
+                       o.m
+``Hidden``             ``H_{o.m}`` — o.m exists but every occurrence is
+                       covered
+=====================  =====================================================
+
+plus register/pc atoms and the boolean combinators ``&``, ``|``, ``~``,
+``>>`` (implication).
+"""
+
+from repro.assertions.core import (
+    Assertion,
+    FALSE,
+    TRUE,
+    AtPc,
+    Env,
+    LocalEq,
+    Pred,
+    make_env,
+)
+from repro.assertions.observability import (
+    ConditionalMethod,
+    ConditionalValue,
+    Covered,
+    DefiniteMethod,
+    DefiniteValue,
+    Hidden,
+    PossibleMethod,
+    PossibleValue,
+    StackEmpty,
+    StackTopIs,
+    definite_value,
+    possible_value,
+)
+
+__all__ = [
+    "Assertion",
+    "AtPc",
+    "ConditionalMethod",
+    "ConditionalValue",
+    "Covered",
+    "DefiniteMethod",
+    "DefiniteValue",
+    "Env",
+    "FALSE",
+    "Hidden",
+    "LocalEq",
+    "PossibleMethod",
+    "PossibleValue",
+    "Pred",
+    "StackEmpty",
+    "StackTopIs",
+    "TRUE",
+    "definite_value",
+    "make_env",
+    "possible_value",
+]

@@ -1,0 +1,209 @@
+"""Assertion environments and boolean combinators (paper §5.1–5.2).
+
+The paper's predicates have type ``Σ_C11 → B`` where
+``Σ_C11 = (LVar → Val) × Σ_C × Σ_L``.  Our :class:`Env` additionally
+exposes the per-thread program counters, which the paper's proof outlines
+use freely (``pc1 ∈ {2,3,4}`` in Figure 7's ``Inv``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.lang.expr import Value
+from repro.lang.program import Program
+from repro.memory.state import ComponentState
+from repro.semantics.config import Config
+
+
+@dataclass(frozen=True)
+class Env:
+    """An annotated configuration: what assertions are evaluated against."""
+
+    program: Program
+    config: Config
+
+    @property
+    def gamma(self) -> ComponentState:
+        return self.config.gamma
+
+    @property
+    def beta(self) -> ComponentState:
+        return self.config.beta
+
+    def component(self, which: str) -> ComponentState:
+        """'C' → client state γ, 'L' → library state β."""
+        if which == "C":
+            return self.config.gamma
+        if which == "L":
+            return self.config.beta
+        raise ValueError(f"component must be 'C' or 'L', got {which!r}")
+
+    def component_of_var(self, var: str) -> str:
+        if var in self.program.client_var_names:
+            return "C"
+        if var in self.program.lib_var_names:
+            return "L"
+        raise KeyError(f"unknown global/object: {var!r}")
+
+    def local(self, tid: str, reg: str, default: Value = None) -> Value:
+        return self.config.local(tid, reg, default)
+
+    def pc(self, tid: str):
+        return self.config.pc(tid, self.program)
+
+    def object(self, name: str):
+        return self.program.object_map[name]
+
+
+def make_env(program: Program, config: Config) -> Env:
+    """Build the assertion-evaluation environment for a configuration."""
+    return Env(program=program, config=config)
+
+
+class Assertion:
+    """Base class: a predicate over :class:`Env` with boolean operators."""
+
+    def holds(self, env: Env) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, env: Env) -> bool:
+        return self.holds(env)
+
+    # -- combinators ---------------------------------------------------------
+    def __and__(self, other: "Assertion") -> "Assertion":
+        return _And(self, other)
+
+    def __or__(self, other: "Assertion") -> "Assertion":
+        return _Or(self, other)
+
+    def __invert__(self) -> "Assertion":
+        return _Not(self)
+
+    def __rshift__(self, other: "Assertion") -> "Assertion":
+        """Implication: ``p >> q`` is ``p ⇒ q``."""
+        return _Or(_Not(self), other)
+
+    def describe(self) -> str:
+        return self.__class__.__name__
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True, repr=False)
+class _And(Assertion):
+    left: Assertion
+    right: Assertion
+
+    def holds(self, env: Env) -> bool:
+        return self.left.holds(env) and self.right.holds(env)
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} ∧ {self.right.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class _Or(Assertion):
+    left: Assertion
+    right: Assertion
+
+    def holds(self, env: Env) -> bool:
+        return self.left.holds(env) or self.right.holds(env)
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} ∨ {self.right.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class _Not(Assertion):
+    inner: Assertion
+
+    def holds(self, env: Env) -> bool:
+        return not self.inner.holds(env)
+
+    def describe(self) -> str:
+        return f"¬{self.inner.describe()}"
+
+
+class _Const(Assertion):
+    def __init__(self, value: bool, name: str) -> None:
+        self._value = value
+        self._name = name
+
+    def holds(self, env: Env) -> bool:
+        return self._value
+
+    def describe(self) -> str:
+        return self._name
+
+
+TRUE = _Const(True, "true")
+FALSE = _Const(False, "false")
+
+
+@dataclass(frozen=True, repr=False)
+class Pred(Assertion):
+    """Escape hatch: an arbitrary predicate with a description."""
+
+    fn: Callable[[Env], bool]
+    name: str = "pred"
+
+    def holds(self, env: Env) -> bool:
+        return self.fn(env)
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class LocalEq(Assertion):
+    """``r = v`` for a thread-local register."""
+
+    tid: str
+    reg: str
+    value: Value
+
+    def holds(self, env: Env) -> bool:
+        return env.local(self.tid, self.reg) == self.value
+
+    def describe(self) -> str:
+        return f"{self.reg}@{self.tid} = {self.value!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class LocalIn(Assertion):
+    """``r ∈ S`` for a thread-local register."""
+
+    tid: str
+    reg: str
+    values: tuple
+
+    def holds(self, env: Env) -> bool:
+        return env.local(self.tid, self.reg) in self.values
+
+    def describe(self) -> str:
+        return f"{self.reg}@{self.tid} ∈ {set(self.values)!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class AtPc(Assertion):
+    """``pc_t ∈ L`` — the thread's program counter is one of ``labels``."""
+
+    tid: str
+    labels: tuple
+
+    def holds(self, env: Env) -> bool:
+        return env.pc(self.tid) in self.labels
+
+    def describe(self) -> str:
+        return f"pc{self.tid} ∈ {set(self.labels)!r}"
+
+
+def all_of(assertions: Iterable[Assertion]) -> Assertion:
+    """Conjunction of a collection of assertions (``TRUE`` when empty)."""
+    result: Optional[Assertion] = None
+    for a in assertions:
+        result = a if result is None else result & a
+    return result if result is not None else TRUE

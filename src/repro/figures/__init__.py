@@ -1,0 +1,21 @@
+"""The paper's example programs and proof outlines, as library objects.
+
+* ``fig1`` — unsynchronised message passing via a relaxed stack;
+* ``fig2`` — publication via a synchronising stack;
+* ``fig3`` — the Owicki–Gries proof outline for Figure 2's program;
+* ``fig7`` — the lock-synchronisation client and its proof outline
+  (Lemma 4), including the paper's ``Inv``, ``P1–P4`` and ``Q1–Q4``.
+"""
+
+from repro.figures.fig1 import fig1_program
+from repro.figures.fig2 import fig2_program
+from repro.figures.fig3 import fig3_outline
+from repro.figures.fig7 import fig7_outline, fig7_program
+
+__all__ = [
+    "fig1_program",
+    "fig2_program",
+    "fig3_outline",
+    "fig7_outline",
+    "fig7_program",
+]

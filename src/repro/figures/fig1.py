@@ -1,0 +1,46 @@
+"""Figure 1: unsynchronised message passing via a relaxed stack.
+
+::
+
+    Init: d := 0; s.init();
+    Thread 1          Thread 2
+    d := 5;           do r1 := s.pop() until r1 = 1;
+    s.push(1);        r2 ← d;
+                      {r2 = 0 ∨ r2 = 5}
+
+With relaxed stack operations the pop does not synchronise with the
+push, so thread 2 may read the stale initial value of ``d`` — the
+postcondition can only be ``r2 = 0 ∨ r2 = 5``, and the framework shows
+both disjuncts are realised.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.lang.program import Program, Thread
+from repro.objects.stack import AbstractStack
+
+
+def fig1_program() -> Program:
+    """Build the Figure 1 client (relaxed stack message passing)."""
+    t1 = A.seq(
+        A.Labeled(1, A.Write("d", Lit(5))),
+        A.Labeled(2, A.MethodCall("s", "push", arg=Lit(1))),
+    )
+    t2 = A.seq(
+        A.Labeled(
+            3,
+            A.do_until(A.MethodCall("s", "pop", dest="r1"), Reg("r1").eq(1)),
+        ),
+        A.Labeled(4, A.Read("r2", "d")),
+    )
+    return Program(
+        threads={"1": Thread(t1, done_label=3), "2": Thread(t2, done_label=5)},
+        client_vars={"d": 0},
+        objects=(AbstractStack("s"),),
+    )
+
+
+#: The paper's (weak) postcondition: only a disjunction is provable.
+EXPECTED_OUTCOMES = {(0,), (5,)}

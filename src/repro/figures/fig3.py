@@ -1,0 +1,63 @@
+"""Figure 3: the proof outline for message passing via the stack.
+
+::
+
+    Init: d := 0; s.init();
+    {[d = 0]1 ∧ [d = 0]2 ∧ [s.pop emp]1 ∧ [s.pop emp]2}
+    Thread 1                        Thread 2
+    {¬⟨s.pop 1⟩2 ∧ [d = 0]1}        {⟨s.pop 1⟩[d = 5]2}
+    1: d := 5;                      3: do r1 := s.popA() until r1 = 1;
+    {¬⟨s.pop 1⟩2 ∧ [d = 5]1}        {[d = 5]2}
+    2: s.pushR(1);                  4: r2 ← d;
+    {true}                          {r2 = 5}
+
+The outline is checked Owicki–Gries style: each assertion is the
+precondition of the statement at its label; the thread-2 postcondition
+``r2 = 5`` is the outline's overall postcondition.
+"""
+
+from __future__ import annotations
+
+from repro.assertions.core import TRUE, LocalEq
+from repro.assertions.observability import (
+    ConditionalPop,
+    DefiniteValue,
+    StackEmpty,
+    StackTopIs,
+)
+from repro.figures.fig2 import fig2_program
+from repro.logic.outline import ProofOutline, ThreadOutline
+
+
+def fig3_outline() -> ProofOutline:
+    """The Figure 3 proof outline over the Figure 2 program."""
+    program = fig2_program()
+    no_pop1 = ~StackTopIs("s", 1)
+    thread1 = ThreadOutline(
+        {
+            1: no_pop1 & DefiniteValue("d", 0, "1"),
+            2: no_pop1 & DefiniteValue("d", 5, "1"),
+            3: TRUE,  # thread 1's done label
+        }
+    )
+    thread2 = ThreadOutline(
+        {
+            3: ConditionalPop("s", 1, "d", 5, "2"),
+            4: DefiniteValue("d", 5, "2"),
+            5: LocalEq("2", "r2", 5),
+        }
+    )
+    return ProofOutline(
+        program=program,
+        threads={"1": thread1, "2": thread2},
+        postcondition=LocalEq("2", "r2", 5),
+    )
+
+
+def fig3_initial_assertion():
+    """The outline's initialisation assertion (checked separately)."""
+    return (
+        DefiniteValue("d", 0, "1")
+        & DefiniteValue("d", 0, "2")
+        & StackEmpty("s")
+    )

@@ -1,0 +1,151 @@
+"""Figure 7: lock-synchronisation client and its proof outline (Lemma 4).
+
+::
+
+    Init: d1 := 0; d2 := 0; l.init();
+    Thread 1                 Thread 2
+    1: l.Acquire()           1: l.Acquire(rl)
+    2: d1 := 5;              2: r1 ← d1;
+    3: d2 := 5;              3: r2 ← d2;
+    4: l.Release()           4: l.Release()
+    {(r1 = 0 ∧ r2 = 0) ∨ (r1 = 5 ∧ r2 = 5)}
+
+with the paper's assertions::
+
+    Inv  = ¬(pc1 ∈ {2,3,4} ∧ pc2 ∈ {2,3,4}) ∧ rl ∈ {1,3}
+    Ppo  = (pc2 = 1 ⇒ ¬⟨l.release_2⟩2) ∧ H_{l.init_0}
+    P1   = [d1=0]1 ∧ [d2=0]1 ∧ (pc2 = 1 ⇒ [l.init_0]1 ∧ [l.init_0]2)
+                              ∧ (pc2 ∈ {2,3,4} ⇒ C_{l.acquire_1})
+    P2   = [d1=0]1 ∧ [d2=0]1 ∧ Ppo
+    P3   = [d1=5]1 ∧ [d2=0]1 ∧ Ppo
+    P4   = [d1=5]1 ∧ [d2=5]1 ∧ Ppo
+    Q'1  = pc1 = 5 ∧ ⟨l.release_2⟩[d1=5]2 ∧ ⟨l.release_2⟩[d2=5]2
+    Q1   = (pc1 ∉ {2,3,4} ⇒ ([l.init_0]2 ∧ [d1=0]2 ∧ [d2=0]2) ∨ Q'1)
+           ∧ (pc1 = 1 ⇒ [l.init_0]1) ∧ (pc1 = 5 ⇒ H_{l.init_0})
+    Q2   = (rl = 1 ⇒ [d1=0]2 ∧ [d2=0]2) ∧ (rl = 3 ⇒ [d1=5]2 ∧ [d2=5]2)
+    Q3   = (rl = 1 ⇒ r1=0 ∧ [d2=0]2)   ∧ (rl = 3 ⇒ r1=5 ∧ [d2=5]2)
+    Q4   = (rl = 1 ⇒ r1=0 ∧ r2=0)      ∧ (rl = 3 ⇒ r1=5 ∧ r2=5)
+
+``rl`` records the lock version bound by thread 2's acquire (1 when
+thread 2 entered its critical section first, 3 when second); it is
+initialised to 1 so that ``Inv`` holds initially, as in the paper's
+mechanisation.
+"""
+
+from __future__ import annotations
+
+from repro.assertions.core import TRUE, AtPc, LocalEq, LocalIn
+from repro.assertions.observability import (
+    ConditionalMethod,
+    Covered,
+    DefiniteMethod,
+    DefiniteValue,
+    Hidden,
+    MethodMatch,
+    PossibleMethod,
+)
+from repro.lang import ast as A
+from repro.lang.expr import Lit
+from repro.lang.program import Program, Thread
+from repro.logic.outline import ProofOutline, ThreadOutline
+from repro.objects.lock import AbstractLock
+
+
+def fig7_program() -> Program:
+    """Build the Figure 7 lock-synchronisation client."""
+    t1 = A.seq(
+        A.Labeled(1, A.MethodCall("l", "acquire")),
+        A.Labeled(2, A.Write("d1", Lit(5))),
+        A.Labeled(3, A.Write("d2", Lit(5))),
+        A.Labeled(4, A.MethodCall("l", "release")),
+    )
+    t2 = A.seq(
+        A.Labeled(1, A.MethodCall("l", "acquire", dest="rl")),
+        A.Labeled(2, A.Read("r1", "d1")),
+        A.Labeled(3, A.Read("r2", "d2")),
+        A.Labeled(4, A.MethodCall("l", "release")),
+    )
+    return Program(
+        threads={"1": Thread(t1, done_label=5), "2": Thread(t2, done_label=5)},
+        client_vars={"d1": 0, "d2": 0},
+        objects=(AbstractLock("l"),),
+        init_locals={"2": {"rl": 1}},
+    )
+
+
+#: The paper's postcondition at thread 2's label 5.
+EXPECTED_OUTCOMES = {(1, 0, 0), (3, 5, 5)}  # (rl, r1, r2)
+
+
+def fig7_outline() -> ProofOutline:
+    """The Figure 7 proof outline with the paper's assertions verbatim."""
+    program = fig7_program()
+
+    init0 = MethodMatch("l", "init", index=0)
+    release2 = MethodMatch("l", "release", index=2)
+    acquire1 = MethodMatch("l", "acquire", index=1)
+
+    inv = (~(AtPc("1", (2, 3, 4)) & AtPc("2", (2, 3, 4)))) & LocalIn(
+        "2", "rl", (1, 3)
+    )
+
+    ppo = (AtPc("2", (1,)) >> ~PossibleMethod(release2, "2")) & Hidden(init0)
+
+    p1 = (
+        DefiniteValue("d1", 0, "1")
+        & DefiniteValue("d2", 0, "1")
+        & (
+            AtPc("2", (1,))
+            >> (DefiniteMethod(init0, "1") & DefiniteMethod(init0, "2"))
+        )
+        & (AtPc("2", (2, 3, 4)) >> Covered(acquire1))
+    )
+    p2 = DefiniteValue("d1", 0, "1") & DefiniteValue("d2", 0, "1") & ppo
+    p3 = DefiniteValue("d1", 5, "1") & DefiniteValue("d2", 0, "1") & ppo
+    p4 = DefiniteValue("d1", 5, "1") & DefiniteValue("d2", 5, "1") & ppo
+
+    q1_prime = (
+        AtPc("1", (5,))
+        & ConditionalMethod(release2, "d1", 5, "2")
+        & ConditionalMethod(release2, "d2", 5, "2")
+    )
+    q1 = (
+        (
+            (~AtPc("1", (2, 3, 4)))
+            >> (
+                (
+                    DefiniteMethod(init0, "2")
+                    & DefiniteValue("d1", 0, "2")
+                    & DefiniteValue("d2", 0, "2")
+                )
+                | q1_prime
+            )
+        )
+        & (AtPc("1", (1,)) >> DefiniteMethod(init0, "1"))
+        & (AtPc("1", (5,)) >> Hidden(init0))
+    )
+    rl1 = LocalEq("2", "rl", 1)
+    rl3 = LocalEq("2", "rl", 3)
+    q2 = (rl1 >> (DefiniteValue("d1", 0, "2") & DefiniteValue("d2", 0, "2"))) & (
+        rl3 >> (DefiniteValue("d1", 5, "2") & DefiniteValue("d2", 5, "2"))
+    )
+    q3 = (rl1 >> (LocalEq("2", "r1", 0) & DefiniteValue("d2", 0, "2"))) & (
+        rl3 >> (LocalEq("2", "r1", 5) & DefiniteValue("d2", 5, "2"))
+    )
+    q4 = (rl1 >> (LocalEq("2", "r1", 0) & LocalEq("2", "r2", 0))) & (
+        rl3 >> (LocalEq("2", "r1", 5) & LocalEq("2", "r2", 5))
+    )
+
+    post = (LocalEq("2", "r1", 0) & LocalEq("2", "r2", 0)) | (
+        LocalEq("2", "r1", 5) & LocalEq("2", "r2", 5)
+    )
+
+    thread1 = ThreadOutline({1: p1, 2: p2, 3: p3, 4: p4, 5: TRUE})
+    thread2 = ThreadOutline({1: q1, 2: q2, 3: q3, 4: q4, 5: q4 & post})
+
+    return ProofOutline(
+        program=program,
+        threads={"1": thread1, "2": thread2},
+        invariant=inv,
+        postcondition=post,
+    )

@@ -1,0 +1,77 @@
+"""A proof outline for variable-level message passing (§5.1 assertions).
+
+The paper's Figure 3 proves message passing *through a library stack*;
+the same assertion language also proves the plain release/acquire MP
+client (the shape the paper's §2 opens with, and the worked example of
+the prior-work logic [5] this paper builds on)::
+
+    Init: d := 0; f := 0;
+    Thread 1                      Thread 2
+    {¬⟨f = 1⟩2 ∧ [d = 0]1}        {⟨f = 1⟩[d = 5]2}
+    1: d := 5;                    3: do r1 ←A f until r1 = 1;
+    {¬⟨f = 1⟩2 ∧ [d = 5]1}        {[d = 5]2}
+    2: f :=R 1;                   4: r2 ← d;
+    {true}                        {r2 = 5}
+
+The conditional observation ``⟨f = 1⟩[d = 5]2`` is vacuous while no
+write of 1 to ``f`` is observable, and once thread 1's releasing write
+appears it carries ``[d = 5]`` in its modification view — the exact
+variable-level analogue of Figure 3's ``⟨s.pop 1⟩[d = 5]2``.
+"""
+
+from __future__ import annotations
+
+from repro.assertions.core import TRUE, LocalEq
+from repro.assertions.observability import (
+    ConditionalValue,
+    DefiniteValue,
+    PossibleValue,
+)
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.lang.program import Program, Thread
+from repro.logic.outline import ProofOutline, ThreadOutline
+
+
+def mp_ra_labelled() -> Program:
+    """The release/acquire MP client with proof-outline labels."""
+    t1 = A.seq(
+        A.Labeled(1, A.Write("d", Lit(5))),
+        A.Labeled(2, A.Write("f", Lit(1), release=True)),
+    )
+    t2 = A.seq(
+        A.Labeled(
+            3,
+            A.do_until(A.Read("r1", "f", acquire=True), Reg("r1").eq(1)),
+        ),
+        A.Labeled(4, A.Read("r2", "d")),
+    )
+    return Program(
+        threads={"1": Thread(t1, done_label=3), "2": Thread(t2, done_label=5)},
+        client_vars={"d": 0, "f": 0},
+    )
+
+
+def mp_outline() -> ProofOutline:
+    """The variable-level message-passing proof outline."""
+    program = mp_ra_labelled()
+    no_flag = ~PossibleValue("f", 1, "2")
+    thread1 = ThreadOutline(
+        {
+            1: no_flag & DefiniteValue("d", 0, "1"),
+            2: no_flag & DefiniteValue("d", 5, "1"),
+            3: TRUE,
+        }
+    )
+    thread2 = ThreadOutline(
+        {
+            3: ConditionalValue("f", 1, "d", 5, "2"),
+            4: DefiniteValue("d", 5, "2"),
+            5: LocalEq("2", "r2", 5),
+        }
+    )
+    return ProofOutline(
+        program=program,
+        threads={"1": thread1, "2": thread2},
+        postcondition=LocalEq("2", "r2", 5),
+    )

@@ -1,0 +1,14 @@
+"""Concrete library implementations (paper §6.2–6.3 + extensions).
+
+Each implementation exposes a *fill* in the sense of
+:mod:`repro.litmus.clients`: a callback producing, per call site, the
+command that fills the client's hole — the implementation body wrapped
+in :class:`~repro.lang.ast.LibBlock` so its accesses run against the
+library component ``β`` as library steps.
+"""
+
+from repro.impls.seqlock import seqlock_fill
+from repro.impls.spinlock import spinlock_fill
+from repro.impls.ticketlock import ticketlock_fill
+
+__all__ = ["seqlock_fill", "spinlock_fill", "ticketlock_fill"]

@@ -1,0 +1,52 @@
+"""A test-and-set spinlock (extension; the paper's §7 future work).
+
+One shared variable ``lk`` (0 = free, 1 = held)::
+
+    Init: lk = 0
+    Acquire():
+      1: do loc ← CAS(lk, 0, 1) until loc
+    Release():
+      1: lk :=R 0
+
+The successful CAS (an acquiring-releasing update) synchronises with the
+previous releasing write of ``lk`` — the refining step; failed CASes
+stutter.  Unlike the ticket lock this lock is not fair, but fairness is
+a liveness property and contextual refinement (a safety property over
+traces) holds regardless: the abstract lock admits every acquisition
+order the spinlock can produce.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+
+#: Library-local register.
+LOC = "_sp_loc"
+
+#: Initial library variables required by this implementation.
+SPINLOCK_VARS = {"lk": 0}
+
+
+def acquire_body() -> A.Node:
+    """The Acquire() body: spin on CAS(lk, 0, 1)."""
+    return A.do_until(A.Cas(LOC, "lk", Lit(0), Lit(1)), Reg(LOC))
+
+
+def release_body() -> A.Node:
+    """The Release() body: a releasing write of 0."""
+    return A.Write("lk", Lit(0), release=True)
+
+
+def spinlock_fill(obj: str, method: str, dest: Optional[str] = None) -> A.Node:
+    """Fill a lock hole with the spinlock implementation."""
+    if method == "acquire":
+        block: A.Node = A.LibBlock(acquire_body())
+        if dest is not None:
+            block = A.seq(block, A.LocalAssign(dest, Reg(LOC)))
+        return block
+    if method == "release":
+        return A.LibBlock(release_body())
+    raise ValueError(f"spinlock has no method {method!r}")

@@ -1,0 +1,56 @@
+"""The ticket lock (paper §6.3).
+
+Two shared variables: ``nt`` (next ticket) and ``sn`` (serving now)::
+
+    Init: nt = 0, sn = 0
+    Acquire():
+      1: m_t ← FAI(nt)
+      2: do s_n ←A sn until m_t = s_n
+    Release():
+      1: sn :=R s_n + 1
+
+The FAI takes a ticket (a stuttering step in the refinement); the
+acquiring read of ``sn`` that returns the thread's own ticket is the
+refining step matching the abstract acquire — it synchronises with the
+releasing write of ``sn`` by the previous holder.  Release's single
+releasing write matches the abstract release.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+
+#: Library-local registers: the ticket and the serving snapshot.
+MT = "_tl_m"
+SN = "_tl_s"
+
+#: Initial library variables required by this implementation.
+TICKETLOCK_VARS = {"nt": 0, "sn": 0}
+
+
+def acquire_body() -> A.Node:
+    """The Acquire() body from §6.3."""
+    return A.seq(
+        A.Fai(MT, "nt"),
+        A.do_until(A.Read(SN, "sn", acquire=True), Reg(MT).eq(Reg(SN))),
+    )
+
+
+def release_body() -> A.Node:
+    """The Release() body from §6.3 (``s_n`` holds the served ticket)."""
+    return A.Write("sn", Reg(SN) + 1, release=True)
+
+
+def ticketlock_fill(obj: str, method: str, dest: Optional[str] = None) -> A.Node:
+    """Fill a lock hole with the ticket-lock implementation."""
+    if method == "acquire":
+        block: A.Node = A.LibBlock(acquire_body())
+        if dest is not None:
+            block = A.seq(block, A.LocalAssign(dest, Lit(True)))
+        return block
+    if method == "release":
+        return A.LibBlock(release_body())
+    raise ValueError(f"ticket lock has no method {method!r}")

@@ -1,0 +1,70 @@
+"""Program syntax for open client/library programs (paper Section 3.1).
+
+The grammar follows Figure 4 of the paper: sequential commands built from
+local assignments, (annotated) global reads and writes, CAS/FAI updates,
+method calls on abstract objects, sequencing, conditionals and loops.
+Programs with *holes* are realised at build time: a client template is
+instantiated either with abstract :class:`~repro.lang.ast.MethodCall`
+nodes or with inlined concrete implementations wrapped in
+:class:`~repro.lang.ast.LibBlock`.
+"""
+
+from repro.lang.ast import (
+    Cas,
+    Com,
+    Fai,
+    If,
+    Labeled,
+    LibBlock,
+    LocalAssign,
+    MethodCall,
+    Read,
+    Seq,
+    While,
+    Write,
+    do_until,
+    seq,
+)
+from repro.lang.expr import (
+    EMPTY,
+    BinOp,
+    Expr,
+    Lit,
+    Reg,
+    UnOp,
+    eval_expr,
+    lit,
+    reg,
+)
+from repro.lang.labels import DONE_PC, pc_of
+from repro.lang.program import Program, Thread
+
+__all__ = [
+    "BinOp",
+    "Cas",
+    "Com",
+    "DONE_PC",
+    "EMPTY",
+    "Expr",
+    "Fai",
+    "If",
+    "Labeled",
+    "LibBlock",
+    "Lit",
+    "LocalAssign",
+    "MethodCall",
+    "Program",
+    "Read",
+    "Reg",
+    "Seq",
+    "Thread",
+    "UnOp",
+    "While",
+    "Write",
+    "do_until",
+    "eval_expr",
+    "lit",
+    "pc_of",
+    "reg",
+    "seq",
+]

@@ -1,0 +1,202 @@
+"""Expressions over local registers (paper §3.1, ``Exp_L``).
+
+Expressions must only involve local variables (registers); global
+variables are accessed exclusively through the read/write/update commands
+so that every global access is a distinct transition of the memory
+semantics.
+
+Values are Python ints and bools plus the distinguished :data:`EMPTY`
+value returned by a pop on an empty stack (the paper's ``Empty``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Union
+
+from repro.util.errors import SemanticsError
+
+
+class _Empty:
+    """Singleton for the ``Empty`` return value of pop on an empty stack."""
+
+    _instance: "_Empty | None" = None
+
+    def __new__(cls) -> "_Empty":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Empty"
+
+    def __hash__(self) -> int:
+        return hash("repro.EMPTY")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Empty)
+
+
+#: The value returned by ``pop`` on an empty stack.
+EMPTY = _Empty()
+
+#: Values a register or global variable may hold.
+Value = Union[int, bool, _Empty, None]
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for local expressions."""
+
+    def __add__(self, other: "Expr | Value") -> "BinOp":
+        return BinOp("+", self, _coerce(other))
+
+    def __sub__(self, other: "Expr | Value") -> "BinOp":
+        return BinOp("-", self, _coerce(other))
+
+    def __mul__(self, other: "Expr | Value") -> "BinOp":
+        return BinOp("*", self, _coerce(other))
+
+    def __mod__(self, other: "Expr | Value") -> "BinOp":
+        return BinOp("%", self, _coerce(other))
+
+    def eq(self, other: "Expr | Value") -> "BinOp":
+        return BinOp("==", self, _coerce(other))
+
+    def ne(self, other: "Expr | Value") -> "BinOp":
+        return BinOp("!=", self, _coerce(other))
+
+    def lt(self, other: "Expr | Value") -> "BinOp":
+        return BinOp("<", self, _coerce(other))
+
+    def le(self, other: "Expr | Value") -> "BinOp":
+        return BinOp("<=", self, _coerce(other))
+
+    def gt(self, other: "Expr | Value") -> "BinOp":
+        return BinOp(">", self, _coerce(other))
+
+    def ge(self, other: "Expr | Value") -> "BinOp":
+        return BinOp(">=", self, _coerce(other))
+
+    def and_(self, other: "Expr | Value") -> "BinOp":
+        return BinOp("and", self, _coerce(other))
+
+    def or_(self, other: "Expr | Value") -> "BinOp":
+        return BinOp("or", self, _coerce(other))
+
+    def not_(self) -> "UnOp":
+        return UnOp("not", self)
+
+    def even(self) -> "UnOp":
+        return UnOp("even", self)
+
+    def odd(self) -> "UnOp":
+        return UnOp("odd", self)
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A literal value ``n ∈ Val``."""
+
+    value: Value
+
+
+@dataclass(frozen=True)
+class Reg(Expr):
+    """A local register ``r ∈ LVar``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary operator application ``⊖ Exp_L``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operator application ``Exp_L ⊕ Exp_L``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+def lit(value: Value) -> Lit:
+    """Shorthand constructor for a literal."""
+    return Lit(value)
+
+
+def reg(name: str) -> Reg:
+    """Shorthand constructor for a register reference."""
+    return Reg(name)
+
+
+def _coerce(x: "Expr | Value") -> Expr:
+    return x if isinstance(x, Expr) else Lit(x)
+
+
+_UN_OPS: Mapping[str, Callable[[Value], Value]] = {
+    "not": lambda v: not v,
+    "-": lambda v: -v,  # type: ignore[operator]
+    "even": lambda v: isinstance(v, int) and v % 2 == 0,
+    "odd": lambda v: isinstance(v, int) and v % 2 == 1,
+}
+
+_BIN_OPS: Mapping[str, Callable[[Value, Value], Value]] = {
+    "+": lambda a, b: a + b,  # type: ignore[operator]
+    "-": lambda a, b: a - b,  # type: ignore[operator]
+    "*": lambda a, b: a * b,  # type: ignore[operator]
+    "%": lambda a, b: a % b,  # type: ignore[operator]
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,  # type: ignore[operator]
+    "<=": lambda a, b: a <= b,  # type: ignore[operator]
+    ">": lambda a, b: a > b,  # type: ignore[operator]
+    ">=": lambda a, b: a >= b,  # type: ignore[operator]
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+}
+
+
+def eval_expr(expr: Expr, ls: Mapping[str, Value]) -> Value:
+    """Evaluate ``expr`` in local state ``ls`` (the paper's ``⟦E⟧ls``)."""
+    if isinstance(expr, Lit):
+        return expr.value
+    if isinstance(expr, Reg):
+        try:
+            return ls[expr.name]
+        except KeyError as exc:
+            raise SemanticsError(f"register {expr.name!r} is unbound") from exc
+    if isinstance(expr, UnOp):
+        try:
+            fn = _UN_OPS[expr.op]
+        except KeyError as exc:
+            raise SemanticsError(f"unknown unary operator {expr.op!r}") from exc
+        return fn(eval_expr(expr.operand, ls))
+    if isinstance(expr, BinOp):
+        try:
+            fn = _BIN_OPS[expr.op]
+        except KeyError as exc:
+            raise SemanticsError(f"unknown binary operator {expr.op!r}") from exc
+        return fn(eval_expr(expr.left, ls), eval_expr(expr.right, ls))
+    raise SemanticsError(f"not an expression: {expr!r}")
+
+
+def eval_bool(expr: Expr, ls: Mapping[str, Value]) -> bool:
+    """Evaluate a boolean condition ``B`` (paper: ``⟦B⟧ls``)."""
+    return bool(eval_expr(expr, ls))
+
+
+def registers_of(expr: Expr) -> frozenset:
+    """The set of register names occurring in ``expr``."""
+    if isinstance(expr, Reg):
+        return frozenset({expr.name})
+    if isinstance(expr, UnOp):
+        return registers_of(expr.operand)
+    if isinstance(expr, BinOp):
+        return registers_of(expr.left) | registers_of(expr.right)
+    return frozenset()

@@ -1,0 +1,62 @@
+"""Program-counter extraction for proof outlines (paper §5.3).
+
+The proof outlines of Figures 3 and 7 annotate statements with labels and
+let assertions refer to the program counters of *other* threads
+(``pc1 ∈ {2,3,4}`` etc.).  We recover a thread's pc from its continuation:
+the label of the leftmost :class:`~repro.lang.ast.Labeled` node, or
+:data:`DONE_PC` when the thread has terminated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import (
+    Com,
+    If,
+    Labeled,
+    LibBlock,
+    Seq,
+    While,
+)
+
+#: Program counter of a terminated thread (customisable per thread in
+#: :class:`~repro.lang.program.Thread`).
+DONE_PC = "done"
+
+
+def pc_of(cmd: Com, done_label=DONE_PC):
+    """The current program counter of a continuation.
+
+    Labels do not nest for pc purposes: a label wrapping a region denotes
+    the whole region, so we stop at the outermost ``Labeled`` on the
+    leftmost execution path.  Unlabelled leading commands are transparent
+    (they belong to the previous label's region in the paper's outlines);
+    if no label occurs at all, ``done_label`` is returned only for a
+    terminated thread and ``None`` for an unlabelled active one.
+    """
+    if cmd is None:
+        return done_label
+    found = _leftmost_label(cmd)
+    return found
+
+
+def _leftmost_label(cmd: Com) -> Optional[object]:
+    if cmd is None:
+        return None
+    if isinstance(cmd, Labeled):
+        return cmd.label
+    if isinstance(cmd, Seq):
+        left = _leftmost_label(cmd.first)
+        if left is not None:
+            return left
+        return _leftmost_label(cmd.second)
+    if isinstance(cmd, While):
+        return _leftmost_label(cmd.body)
+    if isinstance(cmd, If):
+        # A conditional's label lives on the node wrapping it; branches
+        # are only consulted once taken.
+        return None
+    if isinstance(cmd, LibBlock):
+        return _leftmost_label(cmd.body)
+    return None

@@ -1,0 +1,25 @@
+"""Litmus tests and client program families.
+
+``catalog`` contains the standard weak-memory litmus tests with their
+RC11 RAR verdicts, used to validate the Figure 5 transition rules.
+``clients`` builds the parameterised lock-client programs used as state
+universes for Lemma 3 and as the client battery for refinement checking.
+"""
+
+from repro.litmus.catalog import LITMUS_TESTS, LitmusTest, run_litmus
+from repro.litmus.clients import (
+    lock_client,
+    lock_client_one_sided,
+    lock_client_three_threads,
+    mp_client,
+)
+
+__all__ = [
+    "LITMUS_TESTS",
+    "LitmusTest",
+    "lock_client",
+    "lock_client_one_sided",
+    "lock_client_three_threads",
+    "mp_client",
+    "run_litmus",
+]

@@ -1,0 +1,412 @@
+"""Standard weak-memory litmus tests under RC11 RAR (validates Figure 5).
+
+Each test records the outcomes RC11 RAR *allows* for a designated tuple
+of registers, split into the interesting ``weak`` outcome(s) and the
+expected full outcome set.  The verdicts follow the RC11 literature
+[Lahav et al. PLDI'17; Doherty et al. PPoPP'19] for the
+relaxed/release/acquire fragment:
+
+* **MP** (message passing), relaxed: stale read allowed; with
+  release/acquire: forbidden.
+* **SB** (store buffering): the both-read-zero outcome is allowed even
+  with release/acquire annotations (forbidding it needs SC fences, which
+  RC11 RAR lacks).
+* **LB** (load buffering): forbidden outright — RC11 RAR disallows
+  load-buffering cycles, and a view-based operational semantics cannot
+  produce them (reads read existing writes).
+* **CoRR/CoWW/CoRW** coherence shapes: forbidden.
+* **IRIW**: the divergent-observation outcome is allowed even under
+  release/acquire.
+* **2+2W**: both-variables-end-with-first-write allowed under relaxed
+  and release/acquire.
+* **CAS/FAI atomicity**: two competing RMWs never both succeed against
+  the same write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Tuple
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.lang.program import Program, Thread
+from repro.semantics.explore import explore
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """One litmus test: a program, observed registers, and verdicts."""
+
+    name: str
+    build: Callable[[], Program]
+    regs: Tuple[Tuple[str, str], ...]
+    allowed: FrozenSet[Tuple]  # exactly the expected outcome set
+    weak: FrozenSet[Tuple]  # the outcomes distinguishing weak memory
+    weak_allowed: bool  # does RC11 RAR allow the weak outcome(s)?
+    description: str = ""
+
+
+def run_litmus(test: LitmusTest, max_states: int = 500_000) -> Dict:
+    """Execute a litmus test exhaustively; return verdicts and outcomes."""
+    result = explore(test.build(), max_states=max_states)
+    outcomes = result.terminal_locals(*test.regs)
+    weak_observed = bool(outcomes & test.weak)
+    return {
+        "name": test.name,
+        "outcomes": outcomes,
+        "expected": test.allowed,
+        "matches_expected": outcomes == set(test.allowed),
+        "weak_observed": weak_observed,
+        "weak_allowed": test.weak_allowed,
+        "verdict_ok": weak_observed == test.weak_allowed
+        and outcomes == set(test.allowed),
+        "states": result.state_count,
+    }
+
+
+# ---------------------------------------------------------------------------
+# builders
+# ---------------------------------------------------------------------------
+
+
+def _mp(release: bool, acquire: bool) -> Program:
+    t1 = A.seq(A.Write("d", Lit(5)), A.Write("f", Lit(1), release=release))
+    t2 = A.seq(A.Read("r1", "f", acquire=acquire), A.Read("r2", "d"))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"d": 0, "f": 0},
+    )
+
+
+def _sb(release: bool, acquire: bool) -> Program:
+    t1 = A.seq(A.Write("x", Lit(1), release=release), A.Read("r1", "y", acquire=acquire))
+    t2 = A.seq(A.Write("y", Lit(1), release=release), A.Read("r2", "x", acquire=acquire))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"x": 0, "y": 0},
+    )
+
+
+def _lb() -> Program:
+    t1 = A.seq(A.Read("r1", "x"), A.Write("y", Lit(1)))
+    t2 = A.seq(A.Read("r2", "y"), A.Write("x", Lit(1)))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"x": 0, "y": 0},
+    )
+
+
+def _corr() -> Program:
+    t1 = A.Write("x", Lit(1))
+    t2 = A.seq(A.Read("r1", "x"), A.Read("r2", "x"))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"x": 0},
+    )
+
+
+def _coww() -> Program:
+    # Same thread writes 1 then 2; a reader that sees 2 then reads again
+    # must not see 1 (coherence of a single thread's writes).
+    t1 = A.seq(A.Write("x", Lit(1)), A.Write("x", Lit(2)))
+    t2 = A.seq(A.Read("r1", "x"), A.Read("r2", "x"))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"x": 0},
+    )
+
+
+def _iriw(release: bool, acquire: bool) -> Program:
+    t1 = A.Write("x", Lit(1), release=release)
+    t2 = A.Write("y", Lit(1), release=release)
+    t3 = A.seq(A.Read("a", "x", acquire=acquire), A.Read("b", "y", acquire=acquire))
+    t4 = A.seq(A.Read("c", "y", acquire=acquire), A.Read("d", "x", acquire=acquire))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2), "3": Thread(t3), "4": Thread(t4)},
+        client_vars={"x": 0, "y": 0},
+    )
+
+
+def _two_plus_two_w() -> Program:
+    t1 = A.seq(A.Write("x", Lit(1), release=True), A.Write("y", Lit(2), release=True))
+    t2 = A.seq(A.Write("y", Lit(1), release=True), A.Write("x", Lit(2), release=True))
+    t3 = A.seq(A.Read("r1", "x", acquire=True), A.Read("r2", "y", acquire=True))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2), "3": Thread(t3)},
+        client_vars={"x": 0, "y": 0},
+    )
+
+
+def _wrc(ra: bool) -> Program:
+    # Write-to-read causality: does observing a write transfer the
+    # writer's *reads*' causes?
+    t1 = A.Write("x", Lit(1), release=ra)
+    t2 = A.seq(
+        A.Read("r1", "x", acquire=ra), A.Write("y", Lit(1), release=ra)
+    )
+    t3 = A.seq(A.Read("r2", "y", acquire=ra), A.Read("r3", "x", acquire=ra))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2), "3": Thread(t3)},
+        client_vars={"x": 0, "y": 0},
+    )
+
+
+def _mp_chain3() -> Program:
+    # Transitive message passing through two release/acquire hops.
+    t1 = A.seq(A.Write("d", Lit(5)), A.Write("f1", Lit(1), release=True))
+    t2 = A.seq(
+        A.Read("r1", "f1", acquire=True), A.Write("f2", Lit(1), release=True)
+    )
+    t3 = A.seq(A.Read("r2", "f2", acquire=True), A.Read("r3", "d"))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2), "3": Thread(t3)},
+        client_vars={"d": 0, "f1": 0, "f2": 0},
+    )
+
+
+def _cowr() -> Program:
+    # Write-read coherence: a thread never reads older-than-own-write.
+    t1 = A.Write("x", Lit(1))
+    t2 = A.seq(A.Write("x", Lit(2)), A.Read("r1", "x"))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"x": 0},
+    )
+
+
+def _corw() -> Program:
+    # Read-write coherence: own write goes after the write just read.
+    t1 = A.Write("x", Lit(1))
+    t2 = A.seq(A.Read("r1", "x"), A.Write("x", Lit(2)), A.Read("r2", "x"))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"x": 0},
+    )
+
+
+def _cas_race() -> Program:
+    t1 = A.Cas("r1", "x", Lit(0), Lit(1))
+    t2 = A.Cas("r2", "x", Lit(0), Lit(2))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"x": 0},
+    )
+
+
+def _fai_race() -> Program:
+    t1 = A.Fai("r1", "x")
+    t2 = A.Fai("r2", "x")
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"x": 0},
+    )
+
+
+# ---------------------------------------------------------------------------
+# outcome sets
+# ---------------------------------------------------------------------------
+
+_ALL_01 = [(a, b) for a in (0, 1) for b in (0, 1)]
+
+LITMUS_TESTS: Tuple[LitmusTest, ...] = (
+    LitmusTest(
+        name="MP-relaxed",
+        build=lambda: _mp(False, False),
+        regs=(("2", "r1"), ("2", "r2")),
+        allowed=frozenset({(0, 0), (0, 5), (1, 0), (1, 5)}),
+        weak=frozenset({(1, 0)}),
+        weak_allowed=True,
+        description="message passing, all relaxed: stale data readable",
+    ),
+    LitmusTest(
+        name="MP-RA",
+        build=lambda: _mp(True, True),
+        regs=(("2", "r1"), ("2", "r2")),
+        allowed=frozenset({(0, 0), (0, 5), (1, 5)}),
+        weak=frozenset({(1, 0)}),
+        weak_allowed=False,
+        description="message passing, release/acquire: publication works",
+    ),
+    LitmusTest(
+        name="MP-release-only",
+        build=lambda: _mp(True, False),
+        regs=(("2", "r1"), ("2", "r2")),
+        allowed=frozenset({(0, 0), (0, 5), (1, 0), (1, 5)}),
+        weak=frozenset({(1, 0)}),
+        weak_allowed=True,
+        description="release without acquire does not synchronise",
+    ),
+    LitmusTest(
+        name="MP-acquire-only",
+        build=lambda: _mp(False, True),
+        regs=(("2", "r1"), ("2", "r2")),
+        allowed=frozenset({(0, 0), (0, 5), (1, 0), (1, 5)}),
+        weak=frozenset({(1, 0)}),
+        weak_allowed=True,
+        description="acquire of a relaxed write does not synchronise",
+    ),
+    LitmusTest(
+        name="SB-relaxed",
+        build=lambda: _sb(False, False),
+        regs=(("1", "r1"), ("2", "r2")),
+        allowed=frozenset(_ALL_01),
+        weak=frozenset({(0, 0)}),
+        weak_allowed=True,
+        description="store buffering: both-zero allowed",
+    ),
+    LitmusTest(
+        name="SB-RA",
+        build=lambda: _sb(True, True),
+        regs=(("1", "r1"), ("2", "r2")),
+        allowed=frozenset(_ALL_01),
+        weak=frozenset({(0, 0)}),
+        weak_allowed=True,
+        description="store buffering persists under release/acquire (no SC fences in RAR)",
+    ),
+    LitmusTest(
+        name="LB",
+        build=_lb,
+        regs=(("1", "r1"), ("2", "r2")),
+        allowed=frozenset({(0, 0), (0, 1), (1, 0)}),
+        weak=frozenset({(1, 1)}),
+        weak_allowed=False,
+        description="load buffering cycle: disallowed in RC11 (the RAR restriction)",
+    ),
+    LitmusTest(
+        name="CoRR",
+        build=_corr,
+        regs=(("2", "r1"), ("2", "r2")),
+        allowed=frozenset({(0, 0), (0, 1), (1, 1)}),
+        weak=frozenset({(1, 0)}),
+        weak_allowed=False,
+        description="read-read coherence: cannot read backwards in mo",
+    ),
+    LitmusTest(
+        name="CoWW",
+        build=_coww,
+        regs=(("2", "r1"), ("2", "r2")),
+        allowed=frozenset({(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)}),
+        weak=frozenset({(2, 1), (1, 0), (2, 0)}),
+        weak_allowed=False,
+        description="same-thread writes are mo-ordered; no reading backwards",
+    ),
+    LitmusTest(
+        name="IRIW-RA",
+        build=lambda: _iriw(True, True),
+        regs=(("3", "a"), ("3", "b"), ("4", "c"), ("4", "d")),
+        allowed=frozenset(
+            {
+                (a, b, c, d)
+                for a in (0, 1)
+                for b in (0, 1)
+                for c in (0, 1)
+                for d in (0, 1)
+            }
+        ),
+        weak=frozenset({(1, 0, 1, 0)}),
+        weak_allowed=True,
+        description="independent reads of independent writes may disagree under RA",
+    ),
+    LitmusTest(
+        name="2+2W-RA",
+        build=_two_plus_two_w,
+        regs=(("3", "r1"), ("3", "r2")),
+        # (2, 0) is forbidden: reading x = 2 acquires t2's view, which has
+        # already written y = 1, so y = 0 is no longer observable.
+        allowed=frozenset(
+            {(x, y) for x in (0, 1, 2) for y in (0, 1, 2)} - {(2, 0)}
+        ),
+        weak=frozenset({(1, 1)}),
+        weak_allowed=True,
+        description="2+2W: both variables may end with the 'first' writes",
+    ),
+    LitmusTest(
+        name="WRC-RA",
+        build=lambda: _wrc(True),
+        regs=(("2", "r1"), ("3", "r2"), ("3", "r3")),
+        # (1, 1, 0) forbidden: t2 acquired x = 1 before releasing y = 1,
+        # so t3's acquire of y transfers the view of x.
+        allowed=frozenset(
+            {
+                (a, b, c)
+                for a in (0, 1)
+                for b in (0, 1)
+                for c in (0, 1)
+            }
+            - {(1, 1, 0)}
+        ),
+        weak=frozenset({(1, 1, 0)}),
+        weak_allowed=False,
+        description="write-to-read causality: release/acquire is transitive through reads",
+    ),
+    LitmusTest(
+        name="WRC-relaxed",
+        build=lambda: _wrc(False),
+        regs=(("2", "r1"), ("3", "r2"), ("3", "r3")),
+        allowed=frozenset(
+            {(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)}
+        ),
+        weak=frozenset({(1, 1, 0)}),
+        weak_allowed=True,
+        description="without annotations, causality does not propagate",
+    ),
+    LitmusTest(
+        name="MP-chain-3",
+        build=_mp_chain3,
+        regs=(("2", "r1"), ("3", "r2"), ("3", "r3")),
+        # (1, 1, 0) forbidden: publication is transitive across two hops.
+        allowed=frozenset(
+            {
+                (a, b, c)
+                for a in (0, 1)
+                for b in (0, 1)
+                for c in (0, 5)
+            }
+            - {(1, 1, 0)}
+        ),
+        weak=frozenset({(1, 1, 0)}),
+        weak_allowed=False,
+        description="three-thread transitive message passing",
+    ),
+    LitmusTest(
+        name="CoWR",
+        build=_cowr,
+        regs=(("2", "r1"),),
+        # Reading the other thread's write is allowed (it may be
+        # mo-after one's own), but never the initial write.
+        allowed=frozenset({(1,), (2,)}),
+        weak=frozenset({(0,)}),
+        weak_allowed=False,
+        description="write-read coherence: never read mo-before own write",
+    ),
+    LitmusTest(
+        name="CoRW",
+        build=_corw,
+        regs=(("2", "r1"), ("2", "r2")),
+        # (1, 1) forbidden: after reading 1, the own write of 2 goes
+        # mo-after it, so re-reading 1 is impossible.
+        allowed=frozenset({(0, 1), (0, 2), (1, 2)}),
+        weak=frozenset({(1, 1)}),
+        weak_allowed=False,
+        description="read-write coherence: own write goes after the write read",
+    ),
+    LitmusTest(
+        name="CAS-atomicity",
+        build=_cas_race,
+        regs=(("1", "r1"), ("2", "r2")),
+        allowed=frozenset({(True, False), (False, True)}),
+        weak=frozenset({(True, True)}),
+        weak_allowed=False,
+        description="two CASes on the same initial write cannot both succeed",
+    ),
+    LitmusTest(
+        name="FAI-atomicity",
+        build=_fai_race,
+        regs=(("1", "r1"), ("2", "r2")),
+        allowed=frozenset({(0, 1), (1, 0)}),
+        weak=frozenset({(0, 0)}),
+        weak_allowed=False,
+        description="two FAIs dispense distinct values",
+    ),
+)

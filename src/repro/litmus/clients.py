@@ -1,0 +1,160 @@
+"""Parameterised client program families.
+
+These clients serve three purposes:
+
+* state universes for the Lemma 3 rule checks (every canonical
+  configuration reachable from them);
+* the client battery for contextual-refinement checking (Definitions
+  6–7 quantify over clients; we check a representative finite family);
+* workloads for the scaling ablation benchmarks.
+
+Each builder accepts a ``fill`` callback mapping an abstract call
+description to a command, so the *same* client can be instantiated with
+the abstract lock (``C[AO]``) or a concrete implementation (``C[CO]``) —
+the paper's programs-with-holes, resolved at build time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.lang.program import Program, Thread
+
+#: fill(obj, method, dest) -> command filling one hole.
+Fill = Callable[[str, str, Optional[str]], A.Node]
+
+
+def abstract_fill(obj_factory: Callable[[], object]) -> tuple:
+    """A ``(fill, objects)`` pair using abstract method calls."""
+    obj = obj_factory()
+
+    def fill(name: str, method: str, dest: Optional[str] = None) -> A.Node:
+        return A.MethodCall(name, method, dest=dest)
+
+    return fill, (obj,)
+
+
+def lock_client(
+    fill: Fill,
+    objects: Sequence[object] = (),
+    lib_vars: Optional[dict] = None,
+    values: Sequence[int] = (5, 7),
+    readers: bool = True,
+) -> Program:
+    """Two threads, each taking the lock around a write/read critical
+    section over shared client data — the Figure 7 shape.
+
+    Thread 1 writes ``values[0]`` to ``x`` under the lock; thread 2
+    either (``readers=True``) reads ``x`` twice under the lock, or writes
+    ``values[1]``.
+    """
+    t1 = A.seq(
+        A.Labeled(1, fill("l", "acquire", None)),
+        A.Labeled(2, A.Write("x", Lit(values[0]))),
+        A.Labeled(3, fill("l", "release", None)),
+    )
+    if readers:
+        body2 = A.seq(
+            A.Labeled(1, fill("l", "acquire", None)),
+            A.Labeled(2, A.Read("a", "x")),
+            A.Labeled(3, A.Read("b", "x")),
+            A.Labeled(4, fill("l", "release", None)),
+        )
+    else:
+        body2 = A.seq(
+            A.Labeled(1, fill("l", "acquire", None)),
+            A.Labeled(2, A.Write("x", Lit(values[1]))),
+            A.Labeled(3, fill("l", "release", None)),
+        )
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(body2)},
+        client_vars={"x": 0},
+        lib_vars=dict(lib_vars or {}),
+        objects=tuple(objects),
+    )
+
+
+def lock_client_one_sided(
+    fill: Fill,
+    objects: Sequence[object] = (),
+    lib_vars: Optional[dict] = None,
+) -> Program:
+    """Thread 1 publishes under the lock; thread 2 reads *without* taking
+    the lock (exercises states where definite observations are *not*
+    transferred — needed to make rules like Lemma 3(4) non-vacuous)."""
+    t1 = A.seq(
+        A.Labeled(1, fill("l", "acquire", None)),
+        A.Labeled(2, A.Write("x", Lit(5))),
+        A.Labeled(3, fill("l", "release", None)),
+    )
+    t2 = A.seq(
+        A.Labeled(1, A.Read("a", "x")),
+        A.Labeled(2, A.Write("y", Lit(1))),
+    )
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"x": 0, "y": 0},
+        lib_vars=dict(lib_vars or {}),
+        objects=tuple(objects),
+    )
+
+
+def lock_client_three_threads(
+    fill: Fill,
+    objects: Sequence[object] = (),
+    lib_vars: Optional[dict] = None,
+) -> Program:
+    """Three contending threads (scaling workload; deeper version indices)."""
+    def cs(k: int) -> A.Node:
+        return A.seq(
+            A.Labeled(1, fill("l", "acquire", None)),
+            A.Labeled(2, A.Write("x", Lit(k))),
+            A.Labeled(3, fill("l", "release", None)),
+        )
+
+    return Program(
+        threads={"1": Thread(cs(1)), "2": Thread(cs(2)), "3": Thread(cs(3))},
+        client_vars={"x": 0},
+        lib_vars=dict(lib_vars or {}),
+        objects=tuple(objects),
+    )
+
+
+def mp_client(
+    fill: Fill,
+    objects: Sequence[object] = (),
+    lib_vars: Optional[dict] = None,
+    sync: bool = True,
+) -> Program:
+    """The Figure 1/2 message-passing client over a stack object."""
+    push = "pushR" if sync else "push"
+    pop = "popA" if sync else "pop"
+    t1 = A.seq(
+        A.Labeled(1, A.Write("d", Lit(5))),
+        A.Labeled(2, fill_arg(fill, "s", push, Lit(1))),
+    )
+    t2 = A.seq(
+        A.Labeled(3, A.do_until(fill("s", pop, "r1"), Reg("r1").eq(1))),
+        A.Labeled(4, A.Read("r2", "d")),
+    )
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"d": 0},
+        lib_vars=dict(lib_vars or {}),
+        objects=tuple(objects),
+    )
+
+
+def fill_arg(fill: Fill, obj: str, method: str, arg) -> A.Node:
+    """Fill a hole whose method takes an argument.
+
+    The generic :data:`Fill` signature covers argument-less calls; for
+    calls with arguments the abstract fill is built directly here (the
+    concrete stack implementations provide their own specialised fills).
+    """
+    node = fill(obj, method, None)
+    if isinstance(node, A.MethodCall):
+        return A.MethodCall(node.obj, node.method, arg=arg, dest=node.dest)
+    return node

@@ -1,0 +1,73 @@
+"""Peterson's mutual-exclusion algorithm under RC11 RAR.
+
+Peterson's algorithm is correct under sequential consistency but
+**broken** under release/acquire: its entry protocol embeds a
+store-buffering shape (write own flag, read the other's), and RC11 RAR
+has no SC fences to order them — both threads can read the other's
+stale flag and enter together.  This module builds the algorithm with
+the strongest annotations the RAR fragment offers and exposes the
+violation as a reachable configuration, demonstrating the framework as
+a *bug finder*, not only a proof checker.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.lang.program import Program, Thread
+
+
+def peterson_program() -> Program:
+    """Two-thread Peterson with release writes and acquire reads.
+
+    Labels: 1 = entry protocol, 2 = critical section (sets ``in_t``
+    then clears it), 3 = exit.  ``in1``/``in2`` witness CS occupancy.
+    """
+
+    def thread(me: str, other: str, my_flag: str, other_flag: str, my_turn: int):
+        wait = A.do_until(
+            A.seq(
+                A.Read("f", other_flag, acquire=True),
+                A.Read("t", "turn", acquire=True),
+            ),
+            Reg("f").eq(0).or_(Reg("t").ne(my_turn)),
+        )
+        return A.seq(
+            A.Labeled(
+                1,
+                A.seq(
+                    A.Write(my_flag, Lit(1), release=True),
+                    A.Write("turn", Lit(my_turn), release=True),
+                    wait,
+                ),
+            ),
+            A.Labeled(
+                2,
+                A.seq(
+                    A.Write(f"in{me}", Lit(1), release=True),
+                    A.Read("peek", f"in{other}", acquire=True),
+                    A.Write(f"in{me}", Lit(0), release=True),
+                ),
+            ),
+            A.Labeled(3, A.Write(my_flag, Lit(0), release=True)),
+        )
+
+    return Program(
+        threads={
+            "1": Thread(thread("1", "2", "flag1", "flag2", 2), done_label=4),
+            "2": Thread(thread("2", "1", "flag2", "flag1", 1), done_label=4),
+        },
+        client_vars={
+            "flag1": 0,
+            "flag2": 0,
+            "turn": 0,
+            "in1": 0,
+            "in2": 0,
+        },
+    )
+
+
+def mutual_exclusion_violated(cfg, program) -> bool:
+    """Both threads simultaneously inside their critical sections
+    (both program counters in the label-2 region)."""
+    return cfg.pc("1", program) == 2 and cfg.pc("2", program) == 2

@@ -1,0 +1,37 @@
+"""Hoare logic and Owicki–Gries proof-outline checking (paper §5.2–5.3).
+
+The paper discharges its proof obligations deductively in Isabelle/HOL;
+here the same obligations are discharged by exhaustive enumeration:
+
+* :mod:`repro.logic.triples` — Hoare triples for whole programs
+  (Definition 2) and for atomic statements quantified over a *state
+  universe* (every canonical configuration reachable from a family of
+  initialisations);
+* :mod:`repro.logic.outline` / :mod:`repro.logic.owicki` — proof
+  outlines with per-label assertions, checked for initial validity,
+  local correctness and interference freedom over the reachable
+  configuration graph;
+* :mod:`repro.logic.lockrules` — the abstract-lock proof rules of
+  Lemma 3, each checked over generated universes.
+"""
+
+from repro.logic.outline import ProofOutline, ThreadOutline
+from repro.logic.owicki import OGFailure, OGResult, check_proof_outline
+from repro.logic.triples import (
+    TripleResult,
+    check_atomic_triple,
+    check_program_triple,
+    collect_universe,
+)
+
+__all__ = [
+    "OGFailure",
+    "OGResult",
+    "ProofOutline",
+    "ThreadOutline",
+    "TripleResult",
+    "check_atomic_triple",
+    "check_program_triple",
+    "check_proof_outline",
+    "collect_universe",
+]

@@ -1,0 +1,230 @@
+"""The abstract-lock proof rules of Lemma 3, checked by enumeration.
+
+Each rule is an atomic Hoare triple about a lock method call, quantified
+over all states.  We instantiate the rule schemas (over version index
+``u``, client variable ``x``, values, and thread ids) and check every
+instance against a *universe* of canonical configurations harvested from
+a family of lock-client programs — every state the paper's deductive
+proof would range over for those programs.
+
+Rules (statement decorated with the executing thread; ``m`` ranges over
+Acquire/Release, ``t ≠ t'``)::
+
+    (1) {H_{l.release_u}}            l.Acquire(v)_t  {v > u + 1}
+    (2) {H_{l.release_u}}            l.m(v)_t        {H_{l.release_u}}
+    (3) {[l.release_u]_t}            l.Acquire(v)_t  {[l.acquire_{u+1}]_t}
+    (4) {[x = u]_t}                  l.m(v)_t'       {[x = u]_t}
+    (5) {⟨l.release_u⟩[x = n]_t}     l.Acquire(v)_t  {v = u+1 ⇒ [x = n]_t}
+    (6) {¬⟨l.release_u⟩_t' ∧ [x=v]_t} l.Release(u)_t {⟨l.release_u⟩[x = v]_t'}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.assertions.core import Assertion, Pred
+from repro.assertions.observability import (
+    ConditionalMethod,
+    DefiniteMethod,
+    DefiniteValue,
+    Hidden,
+    MethodMatch,
+    PossibleMethod,
+)
+from repro.lang.ast import MethodCall
+from repro.lang.program import Program
+from repro.logic.triples import TripleResult, check_atomic_triple
+from repro.semantics.config import Config
+
+#: Register used to bind the version argument of Acquire(v)/Release(v).
+VREG = "__version__"
+
+
+@dataclass
+class RuleReport:
+    """Aggregated result of all instances of one rule."""
+
+    rule: str
+    valid: bool = True
+    instances: int = 0
+    checked: int = 0
+    applied: int = 0
+    failures: List[Tuple[dict, TripleResult]] = field(default_factory=list)
+
+    def absorb(self, params: dict, result: TripleResult) -> None:
+        self.instances += 1
+        self.checked += result.checked
+        self.applied += result.applied
+        if not result.valid:
+            self.valid = False
+            self.failures.append((params, result))
+
+
+def _acquire(lock: str) -> MethodCall:
+    return MethodCall(lock, "acquire", dest=VREG)
+
+
+def _release(lock: str) -> MethodCall:
+    return MethodCall(lock, "release", dest=VREG)
+
+
+def _version_gt(tid: str, bound: int) -> Assertion:
+    return Pred(
+        lambda env, t=tid, b=bound: (env.local(t, VREG) or 0) > b,
+        name=f"v@{tid} > {bound}",
+    )
+
+
+def _version_eq_implies(tid: str, value: int, then: Assertion) -> Assertion:
+    cond = Pred(
+        lambda env, t=tid, v=value: env.local(t, VREG) == v,
+        name=f"v@{tid} = {value}",
+    )
+    return cond >> then
+
+
+def check_rule1(
+    program: Program, universe: Iterable[Config], lock: str, tid: str, u: int
+) -> TripleResult:
+    """``{H_{l.release_u}} l.Acquire(v)_t {v > u + 1}``."""
+    pre = Hidden(MethodMatch(lock, "release", index=u))
+    post = _version_gt(tid, u + 1)
+    return check_atomic_triple(program, universe, pre, _acquire(lock), tid, post)
+
+
+def check_rule2(
+    program: Program,
+    universe: Iterable[Config],
+    lock: str,
+    tid: str,
+    u: int,
+    method: str,
+) -> TripleResult:
+    """``{H_{l.release_u}} l.m(v)_t {H_{l.release_u}}``."""
+    hidden = Hidden(MethodMatch(lock, "release", index=u))
+    cmd = _acquire(lock) if method == "acquire" else _release(lock)
+    return check_atomic_triple(program, universe, hidden, cmd, tid, hidden)
+
+
+def check_rule3(
+    program: Program, universe: Iterable[Config], lock: str, tid: str, u: int
+) -> TripleResult:
+    """``{[l.release_u]_t} l.Acquire(v)_t {[l.acquire_{u+1}]_t}``."""
+    pre = DefiniteMethod(MethodMatch(lock, "release", index=u), tid)
+    post = DefiniteMethod(MethodMatch(lock, "acquire", index=u + 1), tid)
+    return check_atomic_triple(program, universe, pre, _acquire(lock), tid, post)
+
+
+def check_rule4(
+    program: Program,
+    universe: Iterable[Config],
+    lock: str,
+    tid: str,
+    other: str,
+    var: str,
+    value,
+    method: str,
+) -> TripleResult:
+    """``{[x = u]_t} l.m(v)_t' {[x = u]_t}`` for ``t ≠ t'``."""
+    assert tid != other
+    stable = DefiniteValue(var, value, tid)
+    cmd = _acquire(lock) if method == "acquire" else _release(lock)
+    return check_atomic_triple(program, universe, stable, cmd, other, stable)
+
+
+def check_rule5(
+    program: Program,
+    universe: Iterable[Config],
+    lock: str,
+    tid: str,
+    u: int,
+    var: str,
+    value,
+) -> TripleResult:
+    """``{⟨l.release_u⟩[x = n]_t} l.Acquire(v)_t {v = u+1 ⇒ [x = n]_t}``."""
+    pre = ConditionalMethod(
+        MethodMatch(lock, "release", index=u), var, value, tid
+    )
+    post = _version_eq_implies(tid, u + 1, DefiniteValue(var, value, tid))
+    return check_atomic_triple(program, universe, pre, _acquire(lock), tid, post)
+
+
+def check_rule6(
+    program: Program,
+    universe: Iterable[Config],
+    lock: str,
+    tid: str,
+    other: str,
+    u: int,
+    var: str,
+    value,
+) -> TripleResult:
+    """``{¬⟨l.release_u⟩_t' ∧ [x = v]_t} l.Release(u)_t
+    {⟨l.release_u⟩[x = v]_t'}``."""
+    assert tid != other
+    match = MethodMatch(lock, "release", index=u)
+    pre = (~PossibleMethod(match, other)) & DefiniteValue(var, value, tid)
+    post = _version_eq_implies(
+        tid, u, ConditionalMethod(match, var, value, other)
+    )
+    return check_atomic_triple(program, universe, pre, _release(lock), tid, post)
+
+
+def check_all_rules(
+    groups: Sequence[Tuple[Program, List[Config]]],
+    lock: str = "l",
+    indices: Sequence[int] = (2, 4),
+    values: Sequence[int] = (0, 5),
+) -> Dict[str, RuleReport]:
+    """Check every rule of Lemma 3 over all universe groups.
+
+    ``indices`` instantiates the version schema variable ``u``; ``values``
+    instantiates written values ``n``/``u``; client variables and thread
+    ids are taken from each program.
+    """
+    reports = {f"rule{i}": RuleReport(rule=f"rule{i}") for i in range(1, 7)}
+    for program, universe in groups:
+        tids = program.tids
+        cvars = sorted(program.client_var_names)
+        for t in tids:
+            for u in indices:
+                reports["rule1"].absorb(
+                    {"t": t, "u": u},
+                    check_rule1(program, universe, lock, t, u),
+                )
+                for m in ("acquire", "release"):
+                    reports["rule2"].absorb(
+                        {"t": t, "u": u, "m": m},
+                        check_rule2(program, universe, lock, t, u, m),
+                    )
+                reports["rule3"].absorb(
+                    {"t": t, "u": u},
+                    check_rule3(program, universe, lock, t, u),
+                )
+                for x in cvars:
+                    for n in values:
+                        reports["rule5"].absorb(
+                            {"t": t, "u": u, "x": x, "n": n},
+                            check_rule5(program, universe, lock, t, u, x, n),
+                        )
+            for t2 in tids:
+                if t2 == t:
+                    continue
+                for x in cvars:
+                    for n in values:
+                        for m in ("acquire", "release"):
+                            reports["rule4"].absorb(
+                                {"t": t, "t2": t2, "x": x, "n": n, "m": m},
+                                check_rule4(
+                                    program, universe, lock, t, t2, x, n, m
+                                ),
+                            )
+                        for u in indices:
+                            reports["rule6"].absorb(
+                                {"t": t, "t2": t2, "u": u, "x": x, "v": n},
+                                check_rule6(
+                                    program, universe, lock, t, t2, u, x, n
+                                ),
+                            )
+    return reports

@@ -1,0 +1,47 @@
+"""The RC11 RAR memory semantics over client/library state pairs.
+
+This package implements Section 3.3 and Figure 5 of the paper: timestamped
+operation sets, per-thread view functions, modification views, covered
+writes, and the Read/Write/Update transition rules parameterised by an
+executing component ``γ`` and a context component ``β``.
+"""
+
+from repro.memory.actions import (
+    Action,
+    Op,
+    is_acquiring,
+    is_releasing,
+    is_update,
+    is_write,
+    mk_method,
+    mk_read,
+    mk_update,
+    mk_write,
+    wrval,
+)
+from repro.memory.initial import initial_states
+from repro.memory.state import ComponentState
+from repro.memory.transitions import read_steps, update_steps, write_steps
+from repro.memory.views import max_ts, merge_views, view_union
+
+__all__ = [
+    "Action",
+    "ComponentState",
+    "Op",
+    "initial_states",
+    "is_acquiring",
+    "is_releasing",
+    "is_update",
+    "is_write",
+    "max_ts",
+    "merge_views",
+    "mk_method",
+    "mk_read",
+    "mk_update",
+    "mk_write",
+    "read_steps",
+    "update_steps",
+    "view_union",
+    "write_steps",
+    "wrval",
+]

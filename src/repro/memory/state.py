@@ -1,0 +1,128 @@
+"""Component state ``(ops, tview, mview, cvd)`` (paper §3.3).
+
+Each component (client or library) carries:
+
+* ``ops`` — the set of modifying operations executed so far, each a
+  timestamped :class:`~repro.memory.actions.Op`;
+* ``tview`` — per-thread viewfronts over the component's variables
+  (``tview_t ∈ GVar → ops``); a thread can read any operation on ``x``
+  whose timestamp is at least ``tst(tview_t(x))``;
+* ``mview`` — per-operation modification views spanning *both*
+  components ("the modification view function may map to operations
+  across the system");
+* ``cvd`` — covered operations: those immediately prior to an update in
+  modification order, with which no new operation may interact.
+
+States are immutable; updates return new states sharing unmodified parts.
+The successor constructor only copies the maps it touches — this is the
+hot path of the explorer (HPC guide: optimise the measured bottleneck,
+keep copies off the inner loop where possible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.memory.actions import Action, Op
+from repro.memory.views import View, last_op, max_ts
+from repro.util.fmap import FMap
+
+
+@dataclass(frozen=True)
+class ComponentState:
+    """The weak-memory state of one component (client γ or library β)."""
+
+    ops: FrozenSet[Op] = frozenset()
+    #: tview[(tid, var)] -> Op ; flattened for cheap single-entry updates.
+    tview: FMap = field(default_factory=FMap)
+    #: mview[op] -> View (var -> Op, spanning both components).
+    mview: FMap = field(default_factory=FMap)
+    cvd: FrozenSet[Op] = frozenset()
+
+    # -- observation --------------------------------------------------------
+    def thread_view(self, tid: str, var: str) -> Optional[Op]:
+        """``tview_t(x)`` — this thread's viewfront for ``x`` (None if the
+        variable is not part of this component)."""
+        return self.tview.get((tid, var))
+
+    def obs(self, tid: str, var: str) -> Tuple[Op, ...]:
+        """``Obs(t, x)``: operations on ``x`` observable to ``t``.
+
+        ``{(a, q) ∈ ops | var(a) = x ∧ tst(tview_t(x)) ≤ q}`` — sorted by
+        timestamp for deterministic iteration.
+        """
+        front = self.thread_view(tid, var)
+        if front is None:
+            return ()
+        floor = front.ts
+        found = [op for op in self.ops if op.act.var == var and op.ts >= floor]
+        found.sort(key=lambda op: op.ts)
+        return tuple(found)
+
+    def observable_uncovered(self, tid: str, var: str) -> Tuple[Op, ...]:
+        """``Obs(t, x) \\ cvd`` — candidates for write/update placement."""
+        return tuple(op for op in self.obs(tid, var) if op not in self.cvd)
+
+    def ops_on(self, var: str) -> Tuple[Op, ...]:
+        """All operations on ``var`` (``ops|x``), sorted by timestamp."""
+        found = [op for op in self.ops if op.act.var == var]
+        found.sort(key=lambda op: op.ts)
+        return tuple(found)
+
+    def max_ts(self, var: str) -> Optional[Fraction]:
+        """``maxTS(var, σ)``."""
+        return max_ts(var, self.ops)
+
+    def last_op(self, var: str, only=None) -> Optional[Op]:
+        """``last(W, x)`` over this component's ops."""
+        return last_op(var, self.ops, only=only)
+
+    def timestamps(self) -> Tuple[Fraction, ...]:
+        """All timestamps in ``ops`` (for freshness computations)."""
+        return tuple(op.ts for op in self.ops)
+
+    # -- functional update ---------------------------------------------------
+    def with_thread_view(self, tid: str, view: View) -> "ComponentState":
+        """Replace the whole viewfront of ``tid`` (``tview_t := view``)."""
+        updates = {(tid, x): op for x, op in view.items()}
+        return replace(self, tview=self.tview.set_many(updates))
+
+    def thread_view_map(self, tid: str) -> View:
+        """``tview_t`` as a variable-indexed view map."""
+        return FMap({x: op for (t, x), op in self.tview.items() if t == tid})
+
+    def add_op(
+        self,
+        op: Op,
+        mview: View,
+        tid: str,
+        tview: View,
+        cover: Optional[Op] = None,
+    ) -> "ComponentState":
+        """Insert a new operation with its modification view, replace the
+        executing thread's viewfront, and optionally cover an operation."""
+        new_cvd = self.cvd | {cover} if cover is not None else self.cvd
+        updates = {(tid, x): o for x, o in tview.items()}
+        return ComponentState(
+            ops=self.ops | {op},
+            tview=self.tview.set_many(updates),
+            mview=self.mview.set(op, mview),
+            cvd=new_cvd,
+        )
+
+    # -- integrity -----------------------------------------------------------
+    def check_invariants(self, tids: Iterable[str]) -> None:
+        """Internal coherence: views point into ops, cvd ⊆ ops, per-variable
+        timestamps unique.  Used by tests and the debugging explorer mode."""
+        for (t, x), op in self.tview.items():
+            assert op in self.ops, f"tview[{t},{x}] = {op!r} not in ops"
+        assert self.cvd <= self.ops, "cvd ⊄ ops"
+        for op in self.mview:
+            assert op in self.ops, f"mview key {op!r} not in ops"
+        seen: dict = {}
+        for op in self.ops:
+            key = (op.act.var, op.ts)
+            assert key not in seen, f"duplicate timestamp for {op.act.var}: {op.ts}"
+            seen[key] = op

@@ -1,0 +1,142 @@
+"""The Read/Write/Update transition rules of Figure 5.
+
+Each rule is a generator over the nondeterministic choices the semantics
+allows: *which* observable operation a read reads from, and *after which*
+observable uncovered operation a write/update is placed.  The numeric
+timestamp inside the chosen gap is canonical (midpoint / max+1), which is
+sound because all placement nondeterminism is already enumerated by the
+choice of predecessor.
+
+All rules take the *executing* component ``gamma`` and the *context*
+component ``beta`` and return updated pairs ``(gamma', beta')`` — the
+caller (combined semantics, §3.2) orients client vs library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.lang.expr import Value
+from repro.memory.actions import (
+    Action,
+    Op,
+    is_releasing,
+    mk_read,
+    mk_update,
+    mk_write,
+    wrval,
+)
+from repro.memory.state import ComponentState
+from repro.memory.views import merge_views, view_union
+from repro.util.rationals import fresh_after
+
+#: One memory step: (action, op read-from or placed-after, γ', β').
+MemStep = Tuple[Action, Op, ComponentState, ComponentState]
+
+
+def read_steps(
+    gamma: ComponentState,
+    beta: ComponentState,
+    tid: str,
+    var: str,
+    acquire: bool,
+    want: Optional[Value] = None,
+) -> Iterator[MemStep]:
+    """The ``Read`` rule: ``a ∈ {rd(x, n), rdA(x, n)}``.
+
+    Yields one step per observable operation ``(w, q) ∈ γ.Obs(t, x)``.
+    A synchronising pair — releasing write read by an acquiring read —
+    merges the writer's modification view into the reader's thread views
+    of *both* components; otherwise only the reader's view of ``x``
+    advances to the write read.
+
+    ``want`` optionally filters by value read (used by CAS failure, which
+    requires a value ``≠ u``; pass a predicate via functools if needed —
+    here a concrete value or ``None``).
+    """
+    for w in gamma.obs(tid, var):
+        n = wrval(w.act)
+        if want is not None and n != want:
+            continue
+        action = mk_read(var, n, tid, acquire=acquire)
+        sync = is_releasing(w.act) and acquire
+        if sync:
+            mv = gamma.mview[w]
+            tview2 = merge_views(gamma.thread_view_map(tid), mv)
+            ctview2 = merge_views(beta.thread_view_map(tid), mv)
+            gamma2 = gamma.with_thread_view(tid, tview2)
+            beta2 = beta.with_thread_view(tid, ctview2)
+        else:
+            tview2 = gamma.thread_view_map(tid).set(var, w)
+            gamma2 = gamma.with_thread_view(tid, tview2)
+            beta2 = beta
+        yield action, w, gamma2, beta2
+
+
+def write_steps(
+    gamma: ComponentState,
+    beta: ComponentState,
+    tid: str,
+    var: str,
+    value: Value,
+    release: bool,
+) -> Iterator[MemStep]:
+    """The ``Write`` rule: ``a ∈ {wr(x, n), wrR(x, n)}``.
+
+    Yields one step per placement choice ``(w, q) ∈ γ.Obs(t, x) \\ γ.cvd``.
+    The new operation's modification view records the writer's viewfront
+    over both components (``mview' = tview' ∪ β.tview_t``) so that later
+    synchronisation through this write updates views across components.
+    """
+    existing = gamma.timestamps()
+    for w in gamma.observable_uncovered(tid, var):
+        q_new = fresh_after(w.ts, existing)
+        action = mk_write(var, value, tid, release=release)
+        new_op = Op(action, q_new)
+        tview2 = gamma.thread_view_map(tid).set(var, new_op)
+        mview2 = view_union(tview2, beta.thread_view_map(tid))
+        gamma2 = gamma.add_op(new_op, mview2, tid, tview2)
+        yield action, w, gamma2, beta
+
+
+def update_steps(
+    gamma: ComponentState,
+    beta: ComponentState,
+    tid: str,
+    var: str,
+    expect: Optional[Value],
+    make_new: "callable",
+) -> Iterator[MemStep]:
+    """The ``Update`` rule: ``a = updRA(x, m, n)``.
+
+    A combination of Read and Write: the update reads an observable,
+    *uncovered* operation ``(w, q)`` whose written value matches
+    ``expect`` (``None`` = any, for FAI), covers it, and inserts the new
+    operation immediately after it.  ``make_new(m)`` computes the written
+    value from the value read (CAS: constant; FAI: ``m + 1``).
+
+    Synchronisation: when ``w`` is releasing, the updater additionally
+    acquires ``w``'s modification view into both components' thread views.
+    The new operation's modification view is ``tview' ∪ ctview'``.
+    """
+    existing = gamma.timestamps()
+    for w in gamma.observable_uncovered(tid, var):
+        m = wrval(w.act)
+        if expect is not None and m != expect:
+            continue
+        n = make_new(m)
+        q_new = fresh_after(w.ts, existing)
+        action = mk_update(var, m, n, tid)
+        new_op = Op(action, q_new)
+        base_tview = gamma.thread_view_map(tid).set(var, new_op)
+        if is_releasing(w.act):
+            mv = gamma.mview[w]
+            tview2 = merge_views(base_tview, mv)
+            ctview2 = merge_views(beta.thread_view_map(tid), mv)
+        else:
+            tview2 = base_tview
+            ctview2 = beta.thread_view_map(tid)
+        mview2 = view_union(tview2, ctview2)
+        gamma2 = gamma.add_op(new_op, mview2, tid, tview2, cover=w)
+        beta2 = beta.with_thread_view(tid, ctview2)
+        yield action, w, gamma2, beta2

@@ -1,0 +1,78 @@
+"""View functions and the merge operator ``⊗`` (paper §3.3).
+
+A *view* maps global variables (and object names) to operations.  Thread
+views (``tview``) are per-component: a client thread view maps client
+variables to client operations.  Modification views (``mview``) span the
+whole system: the viewfront a write's author had — over *both*
+components — at the instant of writing.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Optional
+
+from repro.memory.actions import Op
+from repro.util.fmap import FMap
+
+#: A view: variable/object name → operation.
+View = FMap
+
+
+def merge_views(v1: View, v2: View) -> View:
+    """The paper's ``V1 ⊗ V2``.
+
+    Constructs a new view from ``V1`` by taking, for each variable in
+    ``dom(V1)``, the later (by timestamp) of ``V1(x)`` and ``V2(x)``.
+    Variables absent from ``V2`` keep their ``V1`` entry.
+    """
+    updates = {}
+    for x, op1 in v1.items():
+        op2 = v2.get(x)
+        if op2 is not None and op2.ts > op1.ts:
+            updates[x] = op2
+    return v1.set_many(updates) if updates else v1
+
+
+def view_union(v1: View, v2: View) -> View:
+    """Union of views with disjoint domains (``tview' ∪ β.tview_t``).
+
+    Used to build modification views spanning both components.  If a
+    variable occurs in both, the later entry wins (which collapses to the
+    paper's plain union when domains are disjoint, the only case the rules
+    produce).
+    """
+    merged = dict(v1)
+    for x, op in v2.items():
+        cur = merged.get(x)
+        if cur is None or op.ts > cur.ts:
+            merged[x] = op
+    return FMap(merged)
+
+
+def max_ts(var: str, ops: Iterable[Op]) -> Optional[Fraction]:
+    """``maxTS(o, σ)``: the maximal timestamp among operations on ``var``.
+
+    Returns ``None`` when no operation on ``var`` exists.
+    """
+    best: Optional[Fraction] = None
+    for op in ops:
+        if op.act.var == var and (best is None or op.ts > best):
+            best = op.ts
+    return best
+
+
+def last_op(var: str, ops: Iterable[Op], only=None) -> Optional[Op]:
+    """``last(W, x)``: the operation on ``var`` with maximal timestamp.
+
+    ``only`` optionally filters the candidate actions (e.g. writes only).
+    """
+    best: Optional[Op] = None
+    for op in ops:
+        if op.act.var != var:
+            continue
+        if only is not None and not only(op.act):
+            continue
+        if best is None or op.ts > best.ts:
+            best = op
+    return best

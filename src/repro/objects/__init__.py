@@ -1,0 +1,32 @@
+"""Abstract object semantics (paper Section 4).
+
+Abstract method calls are first-class operations in the library component
+state: the set ``ops`` records timestamped method operations, not just
+writes.  Each object defines which methods are enabled in a state, what
+they return, and how they synchronise thread views across the client and
+library components.
+
+The paper's worked example is the :class:`~repro.objects.lock.AbstractLock`
+(Figure 6).  The :class:`~repro.objects.stack.AbstractStack` realises the
+synchronising stack used in the message-passing examples (Figures 1–3).
+:class:`~repro.objects.register.AbstractRegister` and
+:class:`~repro.objects.counter.AbstractCounter` are extensions in the
+spirit of the paper's "other concurrent data types" future work.
+"""
+
+from repro.objects.base import AbstractObject, ObjStep
+from repro.objects.counter import AbstractCounter
+from repro.objects.lock import AbstractLock
+from repro.objects.queue import AbstractQueue
+from repro.objects.register import AbstractRegister
+from repro.objects.stack import AbstractStack
+
+__all__ = [
+    "AbstractCounter",
+    "AbstractLock",
+    "AbstractObject",
+    "AbstractQueue",
+    "AbstractRegister",
+    "AbstractStack",
+    "ObjStep",
+]

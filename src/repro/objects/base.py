@@ -1,0 +1,78 @@
+"""The abstract-object protocol.
+
+An abstract object ``o`` lives in the library component: its operations
+are recorded in ``β.ops`` with ``var(a) = o``.  Executing one of its
+methods is a single *library* transition (the ``Lib`` rule of Figure 4
+combined with the object semantics of Section 4): the object receives the
+library state as the executing component ``γ`` and the client state as
+the context ``β`` — the orientation used in Figure 6.
+
+A method may be *disabled* in a state (an acquire on a held lock yields
+no steps); the combined semantics then simply offers no transition for
+that thread, which models blocking.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, NamedTuple, Optional, Tuple
+
+from repro.lang.expr import Value
+from repro.memory.actions import Action, Op
+from repro.memory.state import ComponentState
+
+
+class ObjStep(NamedTuple):
+    """One abstract method transition.
+
+    ``retval`` is bound to the call's destination register (if any) and
+    recorded as the thread's ``rval`` — the paper's device for ensuring
+    corresponding abstract/concrete calls return the same value.
+    """
+
+    action: Action
+    retval: Value
+    lib: ComponentState
+    cli: ComponentState
+
+
+class AbstractObject(ABC):
+    """Base class for abstract object specifications."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @property
+    @abstractmethod
+    def methods(self) -> Tuple[str, ...]:
+        """Names of the callable methods."""
+
+    @abstractmethod
+    def init_ops(self) -> Tuple[Op, ...]:
+        """Initial operations contributed to ``β_Init.ops`` (e.g.
+        ``(l.init_0, 0)``)."""
+
+    @abstractmethod
+    def method_steps(
+        self,
+        lib: ComponentState,
+        cli: ComponentState,
+        tid: str,
+        method: str,
+        arg: Value = None,
+    ) -> Iterator[ObjStep]:
+        """All transitions of ``o.method(arg)`` by thread ``tid``.
+
+        ``lib`` is the executing component (the object's home), ``cli``
+        the context.  Yields nothing when the method is disabled.
+        """
+
+    # -- shared helpers ------------------------------------------------------
+    def op_count(self, lib: ComponentState) -> int:
+        """Number of operations on this object so far (including init);
+        used as the next operation index (the lock's "version")."""
+        return len(lib.ops_on(self.name))
+
+    def latest(self, lib: ComponentState) -> Optional[Op]:
+        """The operation on this object with maximal timestamp."""
+        return lib.last_op(self.name)

@@ -1,0 +1,108 @@
+"""An abstract atomic counter (extension object).
+
+``inc`` is an atomic fetch-and-increment at the object level: totally
+ordered like the lock's operations (each increment covers its
+predecessor, preventing any operation from slipping between an increment
+and the value it incremented — the abstract analogue of ``cvd`` for
+updates in Figure 5).  ``inc`` is both releasing and acquiring, mirroring
+``updRA``; ``read``/``readA`` behave like the weak register's reads.
+
+The counter is the abstract specification matched by a ticket-dispenser
+style implementation (a single FAI variable) and is used in tests and
+examples to show the framework generalises beyond locks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.lang.expr import Value
+from repro.memory.actions import Op, mk_method
+from repro.memory.state import ComponentState
+from repro.memory.views import merge_views, view_union
+from repro.objects.base import AbstractObject, ObjStep
+from repro.util.rationals import TS_ZERO, fresh_after
+
+INC = "inc"
+READ = "read"
+READ_A = "readA"
+INIT = "init"
+
+
+class AbstractCounter(AbstractObject):
+    """Totally-ordered atomic counter with FAI-style increments."""
+
+    def __init__(self, name: str, initial: int = 0) -> None:
+        super().__init__(name)
+        self.initial = initial
+
+    @property
+    def methods(self) -> Tuple[str, ...]:
+        return (INC, READ, READ_A)
+
+    def init_ops(self) -> Tuple[Op, ...]:
+        return (
+            Op(mk_method(self.name, INIT, val=self.initial, index=0, sync=True), TS_ZERO),
+        )
+
+    def value(self, lib: ComponentState) -> int:
+        """Current counter value: initial + number of increments."""
+        incs = sum(1 for op in lib.ops_on(self.name) if op.act.method == INC)
+        return self.initial + incs
+
+    def method_steps(
+        self,
+        lib: ComponentState,
+        cli: ComponentState,
+        tid: str,
+        method: str,
+        arg: Value = None,
+    ) -> Iterator[ObjStep]:
+        if method == INC:
+            yield from self._inc_steps(lib, cli, tid)
+        elif method in (READ, READ_A):
+            yield from self._read_steps(lib, cli, tid, method == READ_A)
+        else:
+            raise ValueError(f"counter {self.name!r} has no method {method!r}")
+
+    def _inc_steps(
+        self, lib: ComponentState, cli: ComponentState, tid: str
+    ) -> Iterator[ObjStep]:
+        w = self.latest(lib)
+        assert w is not None, "counter missing its init operation"
+        old = self.value(lib)
+        n = self.op_count(lib)
+        q_new = fresh_after(w.ts, lib.timestamps())
+        op = Op(
+            mk_method(self.name, INC, tid=tid, val=old + 1, index=n, sync=True),
+            q_new,
+        )
+        # updRA-style: acquire the predecessor's modification view…
+        mv_w = lib.mview[w]
+        tview2 = merge_views(lib.thread_view_map(tid).set(self.name, op), mv_w)
+        ctview2 = merge_views(cli.thread_view_map(tid), mv_w)
+        mview2 = view_union(tview2, ctview2)
+        # …and cover it, so nothing intervenes (abstract cvd discipline).
+        lib2 = lib.add_op(op, mview2, tid, tview2, cover=w)
+        cli2 = cli.with_thread_view(tid, ctview2)
+        yield ObjStep(action=op.act, retval=old, lib=lib2, cli=cli2)
+
+    def _read_steps(
+        self, lib: ComponentState, cli: ComponentState, tid: str, acquire: bool
+    ) -> Iterator[ObjStep]:
+        for w in lib.obs(tid, self.name):
+            value = w.act.val
+            if acquire and w.act.sync:
+                mv = lib.mview[w]
+                lib2 = lib.with_thread_view(
+                    tid, merge_views(lib.thread_view_map(tid), mv)
+                )
+                cli2 = cli.with_thread_view(
+                    tid, merge_views(cli.thread_view_map(tid), mv)
+                )
+            else:
+                lib2 = lib.with_thread_view(
+                    tid, lib.thread_view_map(tid).set(self.name, w)
+                )
+                cli2 = cli
+            yield ObjStep(action=None, retval=value, lib=lib2, cli=cli2)

@@ -1,0 +1,125 @@
+"""An abstract FIFO queue (extension object, paper §7).
+
+Mirrors the stack's construction (totally-ordered operations acting on
+the globally-latest state) with FIFO removal: ``deq`` returns the
+*oldest* enqueued element still present.  The synchronising pair is a
+releasing ``enqR`` observed by an acquiring ``deqA`` — dequeuing an
+element publishes everything its enqueuer did before enqueuing it,
+which is exactly how message-passing over a work queue is supposed to
+behave.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lang.expr import EMPTY, Value
+from repro.memory.actions import Op, mk_method
+from repro.memory.state import ComponentState
+from repro.memory.views import merge_views, view_union
+from repro.objects.base import AbstractObject, ObjStep
+from repro.util.rationals import TS_ZERO, fresh_after
+
+ENQ = "enq"
+ENQ_R = "enqR"
+DEQ = "deq"
+DEQ_A = "deqA"
+INIT = "init"
+
+
+class AbstractQueue(AbstractObject):
+    """Abstract queue with relaxed and release/acquire method variants."""
+
+    @property
+    def methods(self) -> Tuple[str, ...]:
+        return (ENQ, ENQ_R, DEQ, DEQ_A)
+
+    def init_ops(self) -> Tuple[Op, ...]:
+        return (Op(mk_method(self.name, INIT, index=0), TS_ZERO),)
+
+    # -- content -------------------------------------------------------------
+    def content(self, lib: ComponentState) -> Tuple[Tuple[Value, Op], ...]:
+        """Queue content, front to back, as ``(value, enq-op)`` pairs."""
+        queue: List[Tuple[Value, Op]] = []
+        for op in lib.ops_on(self.name):
+            meth = op.act.method
+            if meth in (ENQ, ENQ_R):
+                queue.append((op.act.val, op))
+            elif meth in (DEQ, DEQ_A):
+                if queue:
+                    queue.pop(0)
+        return tuple(queue)
+
+    def front(self, lib: ComponentState) -> Optional[Tuple[Value, Op]]:
+        content = self.content(lib)
+        return content[0] if content else None
+
+    # -- transitions ----------------------------------------------------------
+    def method_steps(
+        self,
+        lib: ComponentState,
+        cli: ComponentState,
+        tid: str,
+        method: str,
+        arg: Value = None,
+    ) -> Iterator[ObjStep]:
+        if method in (ENQ, ENQ_R):
+            yield from self._enq_steps(lib, cli, tid, arg, method == ENQ_R)
+        elif method in (DEQ, DEQ_A):
+            yield from self._deq_steps(lib, cli, tid, method == DEQ_A)
+        else:
+            raise ValueError(f"queue {self.name!r} has no method {method!r}")
+
+    def _enq_steps(
+        self,
+        lib: ComponentState,
+        cli: ComponentState,
+        tid: str,
+        value: Value,
+        release: bool,
+    ) -> Iterator[ObjStep]:
+        if value is None:
+            raise ValueError("enq requires an argument")
+        latest = self.latest(lib)
+        assert latest is not None, "queue missing its init operation"
+        n = self.op_count(lib)
+        q_new = fresh_after(latest.ts, lib.timestamps())
+        name = ENQ_R if release else ENQ
+        op = Op(
+            mk_method(self.name, name, tid=tid, val=value, index=n, sync=release),
+            q_new,
+        )
+        tview2 = lib.thread_view_map(tid).set(self.name, op)
+        mview2 = view_union(tview2, cli.thread_view_map(tid))
+        lib2 = lib.add_op(op, mview2, tid, tview2)
+        yield ObjStep(action=op.act, retval=None, lib=lib2, cli=cli)
+
+    def _deq_steps(
+        self,
+        lib: ComponentState,
+        cli: ComponentState,
+        tid: str,
+        acquire: bool,
+    ) -> Iterator[ObjStep]:
+        front = self.front(lib)
+        if front is None:
+            yield ObjStep(action=None, retval=EMPTY, lib=lib, cli=cli)
+            return
+        value, enq_op = front
+        latest = self.latest(lib)
+        n = self.op_count(lib)
+        q_new = fresh_after(latest.ts, lib.timestamps())
+        name = DEQ_A if acquire else DEQ
+        op = Op(mk_method(self.name, name, tid=tid, val=value, index=n), q_new)
+        base_view = lib.thread_view_map(tid).set(self.name, op)
+        if acquire and enq_op.act.sync:
+            mv = lib.mview[enq_op]
+            tview2 = merge_views(base_view, mv)
+            ctview2 = merge_views(cli.thread_view_map(tid), mv)
+        else:
+            tview2 = base_view
+            ctview2 = cli.thread_view_map(tid)
+        mview2 = view_union(tview2, ctview2)
+        lib2 = lib.add_op(op, mview2, tid, tview2)
+        cli2 = cli.with_thread_view(tid, ctview2)
+        yield ObjStep(action=op.act, retval=value, lib=lib2, cli=cli2)

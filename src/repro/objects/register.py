@@ -1,0 +1,113 @@
+"""An abstract *weak register* (extension object).
+
+Unlike the lock and stack — whose operations are totally ordered and act
+on the globally-latest state — the register exposes genuine weak-memory
+behaviour at the abstract level: a ``read`` may return any write the
+reading thread can observe (its viewfront or later), exactly like a
+variable read under Figure 5, but packaged as an abstract object.
+
+This demonstrates that the framework of Section 4 accommodates abstract
+specifications that are themselves weakly consistent (the paper's §7
+future-work direction), and provides a useful baseline in tests: a
+register with relaxed methods admits stale reads that the synchronising
+variants rule out.
+
+Methods: ``write``/``writeR`` (relaxed/releasing) and ``read``/``readA``
+(relaxed/acquiring).  Reads modify nothing; writes append with a
+placement choice like Figure 5's Write rule (any observable uncovered
+predecessor), so the register's modification order is per-thread-view
+driven rather than total.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.lang.expr import Value
+from repro.memory.actions import Op, mk_method
+from repro.memory.state import ComponentState
+from repro.memory.views import merge_views, view_union
+from repro.objects.base import AbstractObject, ObjStep
+from repro.util.rationals import TS_ZERO, fresh_after
+
+WRITE = "write"
+WRITE_R = "writeR"
+READ = "read"
+READ_A = "readA"
+INIT = "init"
+
+
+class AbstractRegister(AbstractObject):
+    """A register whose abstract reads/writes follow Figure 5 verbatim."""
+
+    def __init__(self, name: str, initial: Value = 0) -> None:
+        super().__init__(name)
+        self.initial = initial
+
+    @property
+    def methods(self) -> Tuple[str, ...]:
+        return (WRITE, WRITE_R, READ, READ_A)
+
+    def init_ops(self) -> Tuple[Op, ...]:
+        return (
+            Op(mk_method(self.name, INIT, val=self.initial, index=0), TS_ZERO),
+        )
+
+    def method_steps(
+        self,
+        lib: ComponentState,
+        cli: ComponentState,
+        tid: str,
+        method: str,
+        arg: Value = None,
+    ) -> Iterator[ObjStep]:
+        if method in (WRITE, WRITE_R):
+            yield from self._write_steps(lib, cli, tid, arg, method == WRITE_R)
+        elif method in (READ, READ_A):
+            yield from self._read_steps(lib, cli, tid, method == READ_A)
+        else:
+            raise ValueError(f"register {self.name!r} has no method {method!r}")
+
+    def _write_steps(
+        self,
+        lib: ComponentState,
+        cli: ComponentState,
+        tid: str,
+        value: Value,
+        release: bool,
+    ) -> Iterator[ObjStep]:
+        if value is None:
+            raise ValueError("write requires an argument")
+        n = self.op_count(lib)
+        name = WRITE_R if release else WRITE
+        for w in lib.observable_uncovered(tid, self.name):
+            q_new = fresh_after(w.ts, lib.timestamps())
+            op = Op(
+                mk_method(self.name, name, tid=tid, val=value, index=n, sync=release),
+                q_new,
+            )
+            tview2 = lib.thread_view_map(tid).set(self.name, op)
+            mview2 = view_union(tview2, cli.thread_view_map(tid))
+            lib2 = lib.add_op(op, mview2, tid, tview2)
+            yield ObjStep(action=op.act, retval=None, lib=lib2, cli=cli)
+
+    def _read_steps(
+        self,
+        lib: ComponentState,
+        cli: ComponentState,
+        tid: str,
+        acquire: bool,
+    ) -> Iterator[ObjStep]:
+        for w in lib.obs(tid, self.name):
+            value = w.act.val
+            if acquire and w.act.sync:
+                mv = lib.mview[w]
+                tview2 = merge_views(lib.thread_view_map(tid), mv)
+                ctview2 = merge_views(cli.thread_view_map(tid), mv)
+                lib2 = lib.with_thread_view(tid, tview2)
+                cli2 = cli.with_thread_view(tid, ctview2)
+            else:
+                tview2 = lib.thread_view_map(tid).set(self.name, w)
+                lib2 = lib.with_thread_view(tid, tview2)
+                cli2 = cli
+            yield ObjStep(action=None, retval=value, lib=lib2, cli=cli2)

@@ -1,0 +1,143 @@
+"""The abstract (synchronising) stack of Figures 1–3.
+
+The paper uses a stack with a *releasing push* (``s.push_R(1)``) and an
+*acquiring pop* (``s.pop_A()``) to publish client data across threads; a
+relaxed variant (Figure 1) provides no such guarantee.  Section 4's lock
+construction gives the recipe, which we instantiate for a stack:
+
+* all stack operations are totally ordered — every push/pop takes a
+  timestamp larger than all existing ``s``-operations (the stack is a
+  single atomic object, like the lock);
+* the stack *content* in a state is the fold of its operation sequence:
+  pushes push, pops remove the element they returned;
+* a **pop** returns the current top element.  When the popping call is
+  acquiring *and* the push that produced the element was releasing, the
+  pop synchronises: the popper's thread views of both components merge in
+  the push's modification view — exactly the release-acquire view
+  transfer of Figure 5/6.  This is what makes Figure 2's message passing
+  sound;
+* a **pop on an empty stack** returns :data:`~repro.lang.expr.EMPTY` and
+  leaves the state unchanged.  Only modifying operations enter ``ops``
+  (paper §3.3), and an empty pop modifies nothing; this also keeps
+  busy-wait pop loops finite-state.
+
+Method names: ``push``/``pop`` are relaxed, ``pushR``/``popA`` the
+synchronising variants, mirroring the paper's annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lang.expr import EMPTY, Value
+from repro.memory.actions import Op, mk_method
+from repro.memory.state import ComponentState
+from repro.memory.views import merge_views, view_union
+from repro.objects.base import AbstractObject, ObjStep
+from repro.util.rationals import TS_ZERO, fresh_after
+
+PUSH = "push"
+PUSH_R = "pushR"
+POP = "pop"
+POP_A = "popA"
+INIT = "init"
+
+
+class AbstractStack(AbstractObject):
+    """Abstract stack with relaxed and release/acquire method variants."""
+
+    @property
+    def methods(self) -> Tuple[str, ...]:
+        return (PUSH, PUSH_R, POP, POP_A)
+
+    def init_ops(self) -> Tuple[Op, ...]:
+        return (Op(mk_method(self.name, INIT, index=0), TS_ZERO),)
+
+    # -- content -------------------------------------------------------------
+    def content(self, lib: ComponentState) -> Tuple[Tuple[Value, Op], ...]:
+        """The stack content, bottom to top, as ``(value, push-op)`` pairs.
+
+        Replays the totally-ordered operation sequence; each pop removes
+        the top (which, by construction, is the element it returned).
+        """
+        stack: List[Tuple[Value, Op]] = []
+        for op in lib.ops_on(self.name):
+            meth = op.act.method
+            if meth in (PUSH, PUSH_R):
+                stack.append((op.act.val, op))
+            elif meth in (POP, POP_A):
+                if stack:  # pops only occur on non-empty stacks
+                    stack.pop()
+        return tuple(stack)
+
+    def top(self, lib: ComponentState) -> Optional[Tuple[Value, Op]]:
+        content = self.content(lib)
+        return content[-1] if content else None
+
+    # -- transitions ----------------------------------------------------------
+    def method_steps(
+        self,
+        lib: ComponentState,
+        cli: ComponentState,
+        tid: str,
+        method: str,
+        arg: Value = None,
+    ) -> Iterator[ObjStep]:
+        if method in (PUSH, PUSH_R):
+            yield from self._push_steps(lib, cli, tid, arg, method == PUSH_R)
+        elif method in (POP, POP_A):
+            yield from self._pop_steps(lib, cli, tid, method == POP_A)
+        else:
+            raise ValueError(f"stack {self.name!r} has no method {method!r}")
+
+    def _push_steps(
+        self,
+        lib: ComponentState,
+        cli: ComponentState,
+        tid: str,
+        value: Value,
+        release: bool,
+    ) -> Iterator[ObjStep]:
+        if value is None:
+            raise ValueError("push requires an argument")
+        w = self.latest(lib)
+        assert w is not None, "stack missing its init operation"
+        n = self.op_count(lib)
+        q_new = fresh_after(w.ts, lib.timestamps())
+        name = PUSH_R if release else PUSH
+        op = Op(mk_method(self.name, name, tid=tid, val=value, index=n, sync=release), q_new)
+        tview2 = lib.thread_view_map(tid).set(self.name, op)
+        mview2 = view_union(tview2, cli.thread_view_map(tid))
+        lib2 = lib.add_op(op, mview2, tid, tview2)
+        yield ObjStep(action=op.act, retval=None, lib=lib2, cli=cli)
+
+    def _pop_steps(
+        self,
+        lib: ComponentState,
+        cli: ComponentState,
+        tid: str,
+        acquire: bool,
+    ) -> Iterator[ObjStep]:
+        top = self.top(lib)
+        if top is None:
+            # Empty pop: returns EMPTY, modifies nothing.
+            yield ObjStep(action=None, retval=EMPTY, lib=lib, cli=cli)
+            return
+        value, push_op = top
+        latest = self.latest(lib)
+        n = self.op_count(lib)
+        q_new = fresh_after(latest.ts, lib.timestamps())
+        name = POP_A if acquire else POP
+        op = Op(mk_method(self.name, name, tid=tid, val=value, index=n), q_new)
+        base_view = lib.thread_view_map(tid).set(self.name, op)
+        if acquire and push_op.act.sync:
+            mv = lib.mview[push_op]
+            tview2 = merge_views(base_view, mv)
+            ctview2 = merge_views(cli.thread_view_map(tid), mv)
+        else:
+            tview2 = base_view
+            ctview2 = cli.thread_view_map(tid)
+        mview2 = view_union(tview2, ctview2)
+        lib2 = lib.add_op(op, mview2, tid, tview2)
+        cli2 = cli.with_thread_view(tid, ctview2)
+        yield ObjStep(action=op.act, retval=value, lib=lib2, cli=cli2)

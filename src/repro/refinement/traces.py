@@ -1,0 +1,112 @@
+"""Client trace projection and stuttering (paper §6.1).
+
+A client trace extracts, from each configuration of an execution, the
+pair ``(ls|C, γ)``: thread-local states restricted to client registers,
+and the client component state.  Library-internal steps stutter in this
+projection; :func:`remove_stutter` collapses them, yielding the
+stutter-free traces of Definition 6.
+
+Projections are *canonical* — client operation timestamps are replaced
+by their ranks — so projections of corresponding abstract and concrete
+executions are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Sequence, Tuple
+
+from repro.lang.program import Program
+from repro.memory.actions import Op
+from repro.semantics.config import Config
+from repro.util.rationals import rank_map
+
+
+@dataclass(frozen=True)
+class ClientState:
+    """The client-observable part of a configuration (canonicalised).
+
+    Carries exactly what Definition 5 compares: client-projected local
+    states, the client operation set, per-(thread, variable) observable
+    operation sets, and the client's covered set.
+    """
+
+    locals: Tuple  # ((tid, ((reg, val), ...)), ...)
+    ops: FrozenSet  # encoded client operations
+    obs: Tuple  # (((tid, var), frozenset(encoded ops)), ...)
+    cvd: FrozenSet  # encoded covered client operations
+
+    def refines(self, abstract: "ClientState") -> bool:
+        """Definition 5: ``(ls_A, γ_A) ⊑ (ls_C, γ_C)`` with ``self`` the
+        concrete state.
+
+        Local states and covered sets agree; every concrete observable
+        set is contained in the abstract one.
+        """
+        if self.locals != abstract.locals:
+            return False
+        if self.cvd != abstract.cvd:
+            return False
+        abs_obs = dict(abstract.obs)
+        for key, conc_set in self.obs:
+            if not conc_set <= abs_obs.get(key, frozenset()):
+                return False
+        return True
+
+
+def client_projection(program: Program, cfg: Config) -> ClientState:
+    """Project a configuration to its client-observable state."""
+    from repro.semantics.canon import _var_ranks
+
+    gamma = cfg.gamma
+    ranks = _var_ranks(gamma)
+    lib_regs = program.lib_registers()
+
+    def enc(op: Op) -> Tuple:
+        return (op.act, ranks[op.act.var][op.ts])
+
+    locals_ = tuple(
+        sorted(
+            (
+                tid,
+                tuple(
+                    sorted((r, v) for r, v in ls.items() if r not in lib_regs)
+                ),
+            )
+            for tid, ls in cfg.locals.items()
+        )
+    )
+    obs = tuple(
+        sorted(
+            (
+                (tid, var),
+                frozenset(enc(op) for op in gamma.obs(tid, var)),
+            )
+            for tid in program.tids
+            for var in program.client_var_names
+        )
+    )
+    return ClientState(
+        locals=locals_,
+        ops=frozenset(enc(op) for op in gamma.ops),
+        obs=obs,
+        cvd=frozenset(enc(op) for op in gamma.cvd),
+    )
+
+
+def remove_stutter(trace: Sequence[ClientState]) -> Tuple[ClientState, ...]:
+    """``rem_stut``: collapse consecutive repeated client states."""
+    out = []
+    for state in trace:
+        if not out or out[-1] != state:
+            out.append(state)
+    return tuple(out)
+
+
+def trace_refines(
+    concrete: Sequence[ClientState], abstract: Sequence[ClientState]
+) -> bool:
+    """Definition 5 lifted to traces: pointwise refinement, equal length."""
+    if len(concrete) != len(abstract):
+        return False
+    return all(c.refines(a) for c, a in zip(concrete, abstract))

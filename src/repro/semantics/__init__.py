@@ -1,0 +1,33 @@
+"""The combined operational semantics and state-space exploration.
+
+``config``/``step`` implement the ``=⇒`` relation of Section 3.2: program
+transitions (Figure 4) constrained by the memory semantics (Figure 5) and
+the abstract object semantics (Section 4), with client steps executing
+against ``γ`` and library steps against ``β``.
+
+``explore`` performs exhaustive breadth-first enumeration of the
+reachable configuration space with canonical state hashing (``canon``),
+which is the engine behind every verification result in this repository.
+``random_exec`` provides a statistical sampling mode for programs too
+large to enumerate.
+"""
+
+from repro.semantics.canon import canonical_key
+from repro.semantics.config import Config, initial_config
+from repro.semantics.explore import ExploreResult, explore, final_outcomes, reachable
+from repro.semantics.random_exec import random_run
+from repro.semantics.step import Transition, successors, thread_successors
+
+__all__ = [
+    "Config",
+    "ExploreResult",
+    "Transition",
+    "canonical_key",
+    "explore",
+    "final_outcomes",
+    "initial_config",
+    "random_run",
+    "reachable",
+    "successors",
+    "thread_successors",
+]

@@ -1,0 +1,114 @@
+"""Canonical configuration keys (timestamp rank normalisation).
+
+Two configurations that differ only in the rational values of their
+timestamps — not in the relative order of operations — describe the same
+abstract state: timestamps encode *per-variable* modification order, and
+every comparison the semantics performs (``Obs``, the ``⊗`` merge,
+``maxTS``, ``last``) is between operations on the same variable.
+Cross-variable timestamp relationships are semantically irrelevant, so
+the canonical key replaces each timestamp by its rank *within its
+(component, variable) group*.  This is strictly stronger than a global
+ranking: two interleavings that produce the same per-variable orders but
+different cross-variable numeric interleavings collapse to one state.
+
+Soundness: an order-isomorphic per-variable relabelling is a bisimulation
+— the enabled transitions, placement choices and view updates of the
+semantics are invariant under it (the numeric value chosen by ``fresh``
+never feeds back into behaviour, only its per-variable position does).
+The property suite cross-validates this by comparing terminal outcomes
+of canonical vs raw exploration over random programs.
+
+Cross-component references (modification views span both components) are
+resolved through the program's variable partition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.lang.program import Program
+from repro.memory.actions import Op
+from repro.memory.state import ComponentState
+from repro.semantics.config import Config
+from repro.util.rationals import rank_map
+
+
+def _var_ranks(state: ComponentState) -> Dict:
+    """rank maps per variable: var -> {ts -> rank}."""
+    by_var: Dict = {}
+    for op in state.ops:
+        by_var.setdefault(op.act.var, []).append(op.ts)
+    return {var: rank_map(ts_list) for var, ts_list in by_var.items()}
+
+
+def canonical_key(program: Program, cfg: Config) -> Tuple:
+    """A hashable key identifying ``cfg`` up to per-variable timestamp
+    relabelling."""
+    g_ranks = _var_ranks(cfg.gamma)
+    b_ranks = _var_ranks(cfg.beta)
+    client_vars = program.client_var_names
+
+    def enc_op(op: Op) -> Tuple:
+        ranks = g_ranks if op.act.var in client_vars else b_ranks
+        return (op.act, ranks[op.act.var][op.ts])
+
+    def enc_state(state: ComponentState) -> Tuple:
+        ops = frozenset(enc_op(op) for op in state.ops)
+        tview = tuple(
+            sorted((key, enc_op(op)) for key, op in state.tview.items())
+        )
+        mview = tuple(
+            sorted(
+                (
+                    (
+                        enc_op(op),
+                        tuple(sorted((x, enc_op(o)) for x, o in view.items())),
+                    )
+                    for op, view in state.mview.items()
+                ),
+                key=repr,
+            )
+        )
+        cvd = frozenset(enc_op(op) for op in state.cvd)
+        return (ops, tview, mview, cvd)
+
+    cmds = tuple(sorted(cfg.cmds.items(), key=lambda kv: kv[0]))
+    locals_ = tuple(
+        sorted(
+            (tid, ls.items_sorted()) for tid, ls in cfg.locals.items()
+        )
+    )
+    return (cmds, locals_, enc_state(cfg.gamma), enc_state(cfg.beta))
+
+
+def client_state_key(program: Program, cfg: Config) -> Tuple:
+    """Canonical key of the *client-observable* part of a configuration.
+
+    Used by the refinement machinery (paper §6.1): client-projected local
+    states plus the canonicalised client component.  Library registers
+    (``LVar_L``) are excluded from local states.
+    """
+    g_ranks = _var_ranks(cfg.gamma)
+    lib_regs = program.lib_registers()
+
+    def enc_op(op: Op) -> Tuple:
+        return (op.act, g_ranks[op.act.var][op.ts])
+
+    gamma = cfg.gamma
+    ops = frozenset(enc_op(op) for op in gamma.ops)
+    tview = tuple(sorted((key, enc_op(op)) for key, op in gamma.tview.items()))
+    cvd = frozenset(enc_op(op) for op in gamma.cvd)
+    locals_ = tuple(
+        sorted(
+            (
+                tid,
+                tuple(
+                    sorted(
+                        (r, v) for r, v in ls.items() if r not in lib_regs
+                    )
+                ),
+            )
+            for tid, ls in cfg.locals.items()
+        )
+    )
+    return (locals_, ops, tview, cvd)

@@ -1,0 +1,210 @@
+"""Exhaustive state-space exploration.
+
+Breadth-first enumeration of the reachable configuration space under the
+combined semantics, memoised by canonical key.  This is the verification
+engine: postconditions are checked on terminal configurations, safety
+properties on every reachable configuration, and the refinement and
+Owicki–Gries checkers both consume the graphs produced here.
+
+Following the optimisation guide's workflow (make it work, make it
+reliable, then profile), the loop is a plain deque-driven BFS; the two
+measured hot spots — successor generation and canonical encoding — are
+kept allocation-lean rather than micro-optimised further.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lang.program import Program
+from repro.semantics.canon import canonical_key
+from repro.semantics.config import Config, initial_config
+from repro.semantics.step import Transition, successors
+from repro.util.errors import VerificationError
+
+
+@dataclass
+class ExploreResult:
+    """Everything the explorer learned about a program."""
+
+    program: Program
+    initial: Config
+    initial_key: Tuple
+    configs: Dict[Tuple, Config]
+    terminals: List[Config]
+    stuck: List[Config]
+    edge_count: int
+    truncated: bool
+    elapsed: float
+    edges: Optional[Dict[Tuple, List[Tuple[str, str, object, Tuple]]]] = None
+
+    @property
+    def state_count(self) -> int:
+        return len(self.configs)
+
+    def terminal_locals(self, *regs: Tuple[str, str]) -> set:
+        """Distinct terminal register valuations.
+
+        ``regs`` is a sequence of ``(tid, reg)`` pairs; the result is the
+        set of value tuples those registers take in terminal states.
+        """
+        out = set()
+        for cfg in self.terminals:
+            out.add(tuple(cfg.local(t, r) for t, r in regs))
+        return out
+
+
+def explore(
+    program: Program,
+    max_states: int = 500_000,
+    collect_edges: bool = False,
+    canonicalise: bool = True,
+    check_invariants: bool = False,
+    on_config: Optional[Callable[[Config], None]] = None,
+) -> ExploreResult:
+    """Enumerate every reachable configuration of ``program``.
+
+    Parameters
+    ----------
+    max_states:
+        Safety cap; exceeding it marks the result ``truncated``.
+    collect_edges:
+        Record the labelled transition graph (needed by the refinement
+        and Owicki–Gries checkers).
+    canonicalise:
+        Identify configurations up to timestamp relabelling.  Disabling
+        this exists for the ablation benchmark — raw configurations with
+        distinct rationals are then distinct states.
+    check_invariants:
+        Assert component-state coherence at every configuration
+        (diagnostic mode used by the test-suite).
+    """
+    start = time.perf_counter()
+    init = initial_config(program)
+    keyf: Callable[[Config], Tuple]
+    if canonicalise:
+        keyf = lambda cfg: canonical_key(program, cfg)  # noqa: E731
+    else:
+        keyf = lambda cfg: _raw_key(cfg)  # noqa: E731
+
+    init_key = keyf(init)
+    configs: Dict[Tuple, Config] = {init_key: init}
+    edges: Optional[Dict[Tuple, List]] = {} if collect_edges else None
+    terminals: List[Config] = []
+    stuck: List[Config] = []
+    edge_count = 0
+    truncated = False
+
+    queue = deque([(init_key, init)])
+    while queue:
+        key, cfg = queue.popleft()
+        if check_invariants:
+            cfg.gamma.check_invariants(program.tids)
+            cfg.beta.check_invariants(program.tids)
+        if on_config is not None:
+            on_config(cfg)
+        succs = successors(program, cfg)
+        if collect_edges:
+            edges[key] = []
+        if not succs:
+            if cfg.is_terminal():
+                terminals.append(cfg)
+            else:
+                stuck.append(cfg)
+            continue
+        for tr in succs:
+            edge_count += 1
+            tkey = keyf(tr.target)
+            if collect_edges:
+                edges[key].append((tr.tid, tr.component, tr.action, tkey))
+            if tkey not in configs:
+                if len(configs) >= max_states:
+                    truncated = True
+                    continue
+                configs[tkey] = tr.target
+                queue.append((tkey, tr.target))
+
+    return ExploreResult(
+        program=program,
+        initial=init,
+        initial_key=init_key,
+        configs=configs,
+        terminals=terminals,
+        stuck=stuck,
+        edge_count=edge_count,
+        truncated=truncated,
+        elapsed=time.perf_counter() - start,
+        edges=edges,
+    )
+
+
+def _raw_key(cfg: Config) -> Tuple:
+    """Structural identity without timestamp normalisation (ablation)."""
+    return (
+        tuple(sorted(cfg.cmds.items(), key=lambda kv: kv[0])),
+        tuple(sorted((t, ls.items_sorted()) for t, ls in cfg.locals.items())),
+        _raw_state(cfg.gamma),
+        _raw_state(cfg.beta),
+    )
+
+
+def _raw_state(state) -> Tuple:
+    return (
+        state.ops,
+        tuple(sorted(state.tview.items(), key=lambda kv: repr(kv[0]))),
+        tuple(sorted(state.mview.items(), key=lambda kv: repr(kv[0]))),
+        state.cvd,
+    )
+
+
+def reachable(
+    program: Program,
+    predicate: Callable[[Config], bool],
+    max_states: int = 500_000,
+) -> Optional[Config]:
+    """Return a reachable configuration satisfying ``predicate`` or None."""
+    witness: List[Config] = []
+
+    def probe(cfg: Config) -> None:
+        if not witness and predicate(cfg):
+            witness.append(cfg)
+
+    explore(program, max_states=max_states, on_config=probe)
+    return witness[0] if witness else None
+
+
+def assert_invariant(
+    program: Program,
+    invariant: Callable[[Config], bool],
+    max_states: int = 500_000,
+) -> ExploreResult:
+    """Check a safety property on every reachable configuration.
+
+    Raises :class:`VerificationError` with the offending configuration.
+    """
+    def probe(cfg: Config) -> None:
+        if not invariant(cfg):
+            raise VerificationError(
+                "invariant violated", counterexample=cfg
+            )
+
+    return explore(program, max_states=max_states, on_config=probe)
+
+
+def final_outcomes(
+    program: Program,
+    regs: Tuple[Tuple[str, str], ...],
+    max_states: int = 500_000,
+) -> set:
+    """The set of terminal valuations of ``regs`` ((tid, reg) pairs)."""
+    result = explore(program, max_states=max_states)
+    if result.truncated:
+        raise VerificationError("state space truncated; raise max_states")
+    if result.stuck:
+        raise VerificationError(
+            "deadlocked configurations found", counterexample=result.stuck[0]
+        )
+    return result.terminal_locals(*regs)

@@ -1,0 +1,80 @@
+"""Random-walk execution (statistical checking mode).
+
+For programs whose full state space is too large to enumerate, a random
+scheduler samples executions: at each configuration one enabled
+transition is chosen uniformly.  Sampling cannot prove absence of
+behaviours, but it reproduces *allowed* weak behaviours quickly and
+scales to workloads the exhaustive explorer cannot touch — the framework
+analogue of running a litmus test many times on hardware.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.lang.program import Program
+from repro.semantics.config import Config, initial_config
+from repro.semantics.step import Transition, successors
+from repro.util.errors import VerificationError
+
+
+@dataclass
+class RunResult:
+    """Outcome of one random execution."""
+
+    final: Config
+    steps: int
+    terminated: bool
+    deadlocked: bool
+
+
+def random_run(
+    program: Program,
+    rng: Optional[random.Random] = None,
+    max_steps: int = 100_000,
+) -> RunResult:
+    """Execute one random schedule to termination (or the step cap)."""
+    rng = rng or random.Random()
+    cfg = initial_config(program)
+    for i in range(max_steps):
+        succs = successors(program, cfg)
+        if not succs:
+            return RunResult(
+                final=cfg,
+                steps=i,
+                terminated=cfg.is_terminal(),
+                deadlocked=not cfg.is_terminal(),
+            )
+        cfg = rng.choice(succs).target
+    return RunResult(final=cfg, steps=max_steps, terminated=False, deadlocked=False)
+
+
+def sample_outcomes(
+    program: Program,
+    regs: Tuple[Tuple[str, str], ...],
+    runs: int = 200,
+    seed: int = 0,
+    max_steps: int = 100_000,
+) -> dict:
+    """Histogram of terminal register valuations over ``runs`` samples.
+
+    Non-terminating samples (step cap hit) are recorded under the key
+    ``'<incomplete>'``; deadlocks raise, as no program in this repository
+    should deadlock under a fair-enough random scheduler.
+    """
+    rng = random.Random(seed)
+    histogram: dict = {}
+    for _ in range(runs):
+        result = random_run(program, rng=rng, max_steps=max_steps)
+        if result.deadlocked:
+            raise VerificationError(
+                "random run deadlocked", counterexample=result.final
+            )
+        if not result.terminated:
+            key: object = "<incomplete>"
+        else:
+            key = tuple(result.final.local(t, r) for t, r in regs)
+        histogram[key] = histogram.get(key, 0) + 1
+    return histogram

@@ -1,0 +1,181 @@
+"""Successor generation: the ``=⇒`` relation of Section 3.2.
+
+For each thread we enumerate every transition its continuation admits:
+silent (ǫ) program steps, memory steps constrained by Figure 5 (with all
+read-from and placement nondeterminism), and abstract method transitions
+(Section 4).  Steps arising inside a :class:`~repro.lang.ast.LibBlock` or
+from a :class:`~repro.lang.ast.MethodCall` are *library* steps: they
+execute against ``β`` with ``γ`` as context, and are tagged ``'L'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lang import ast as A
+from repro.lang.expr import eval_expr
+from repro.lang.program import Program
+from repro.memory.actions import Action
+from repro.memory.state import ComponentState
+from repro.memory.transitions import read_steps, update_steps, write_steps
+from repro.semantics.config import Config
+from repro.util.errors import SemanticsError
+from repro.util.fmap import FMap
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One step of the combined semantics."""
+
+    tid: str
+    component: str  # 'C' for client steps, 'L' for library steps
+    action: Optional[Action]  # None for silent (ǫ) steps
+    target: Config
+
+
+#: Internal: (action, component, cmd', ls', γ', β').
+_ThreadStep = Tuple[
+    Optional[Action], str, A.Com, FMap, ComponentState, ComponentState
+]
+
+
+def successors(program: Program, cfg: Config) -> List[Transition]:
+    """All ``=⇒`` successors of ``cfg`` across every thread."""
+    out: List[Transition] = []
+    for tid in program.tids:
+        out.extend(thread_successors(program, cfg, tid))
+    return out
+
+
+def thread_successors(
+    program: Program, cfg: Config, tid: str
+) -> Iterator[Transition]:
+    """Successors contributed by thread ``tid``."""
+    cmd = cfg.cmds[tid]
+    if cmd is None:
+        return
+    ls = cfg.locals[tid]
+    for action, comp, cmd2, ls2, gamma2, beta2 in _steps(
+        program, cmd, tid, ls, cfg.gamma, cfg.beta, in_lib=False
+    ):
+        yield Transition(
+            tid=tid,
+            component=comp,
+            action=action,
+            target=cfg.with_thread(tid, cmd2, ls2, gamma2, beta2),
+        )
+
+
+def _steps(
+    program: Program,
+    cmd: A.Node,
+    tid: str,
+    ls: FMap,
+    gamma: ComponentState,
+    beta: ComponentState,
+    in_lib: bool,
+) -> Iterator[_ThreadStep]:
+    comp = "L" if in_lib else "C"
+
+    if isinstance(cmd, A.LocalAssign):
+        value = eval_expr(cmd.expr, ls)
+        yield None, comp, None, ls.set(cmd.reg, value), gamma, beta
+
+    elif isinstance(cmd, A.Write):
+        value = eval_expr(cmd.expr, ls)
+        exec_state, ctx_state = (beta, gamma) if in_lib else (gamma, beta)
+        for action, _w, exec2, ctx2 in write_steps(
+            exec_state, ctx_state, tid, cmd.var, value, cmd.release
+        ):
+            g2, b2 = (ctx2, exec2) if in_lib else (exec2, ctx2)
+            yield action, comp, None, ls, g2, b2
+
+    elif isinstance(cmd, A.Read):
+        exec_state, ctx_state = (beta, gamma) if in_lib else (gamma, beta)
+        for action, _w, exec2, ctx2 in read_steps(
+            exec_state, ctx_state, tid, cmd.var, cmd.acquire
+        ):
+            g2, b2 = (ctx2, exec2) if in_lib else (exec2, ctx2)
+            yield action, comp, None, ls.set(cmd.reg, action.val), g2, b2
+
+    elif isinstance(cmd, A.Cas):
+        expect = eval_expr(cmd.expect, ls)
+        new = eval_expr(cmd.new, ls)
+        exec_state, ctx_state = (beta, gamma) if in_lib else (gamma, beta)
+        # Success: an acquiring-releasing update updRA(x, u, v).
+        for action, _w, exec2, ctx2 in update_steps(
+            exec_state, ctx_state, tid, cmd.var, expect, lambda _m: new
+        ):
+            g2, b2 = (ctx2, exec2) if in_lib else (exec2, ctx2)
+            yield action, comp, None, ls.set(cmd.reg, True), g2, b2
+        # Failure: a relaxed read of any observable value ≠ u.
+        for action, _w, exec2, ctx2 in read_steps(
+            exec_state, ctx_state, tid, cmd.var, acquire=False
+        ):
+            if action.val == expect:
+                continue
+            g2, b2 = (ctx2, exec2) if in_lib else (exec2, ctx2)
+            yield action, comp, None, ls.set(cmd.reg, False), g2, b2
+
+    elif isinstance(cmd, A.Fai):
+        exec_state, ctx_state = (beta, gamma) if in_lib else (gamma, beta)
+        for action, _w, exec2, ctx2 in update_steps(
+            exec_state, ctx_state, tid, cmd.var, None, _increment
+        ):
+            g2, b2 = (ctx2, exec2) if in_lib else (exec2, ctx2)
+            yield action, comp, None, ls.set(cmd.reg, action.rdval), g2, b2
+
+    elif isinstance(cmd, A.MethodCall):
+        # Abstract method calls are library transitions: the object's home
+        # component β executes, the client γ is the context (Figure 6).
+        obj = program.object_map.get(cmd.obj)
+        if obj is None:
+            raise SemanticsError(f"no abstract object named {cmd.obj!r}")
+        arg = None if cmd.arg is None else eval_expr(cmd.arg, ls)
+        for step in obj.method_steps(beta, gamma, tid, cmd.method, arg):
+            ls2 = ls.set(cmd.dest, step.retval) if cmd.dest else ls
+            yield step.action, "L", None, ls2, step.cli, step.lib
+
+    elif isinstance(cmd, A.Seq):
+        for action, comp2, first2, ls2, g2, b2 in _steps(
+            program, cmd.first, tid, ls, gamma, beta, in_lib
+        ):
+            yield action, comp2, A.seq_cons(first2, cmd.second), ls2, g2, b2
+
+    elif isinstance(cmd, A.If):
+        branch = (
+            cmd.then_branch if eval_expr(cmd.cond, ls) else cmd.else_branch
+        )
+        yield None, comp, branch, ls, gamma, beta
+
+    elif isinstance(cmd, A.While):
+        if eval_expr(cmd.cond, ls):
+            yield None, comp, A.Seq(cmd.body, cmd), ls, gamma, beta
+        else:
+            yield None, comp, None, ls, gamma, beta
+
+    elif isinstance(cmd, A.LibBlock):
+        for action, _comp2, body2, ls2, g2, b2 in _steps(
+            program, cmd.body, tid, ls, gamma, beta, in_lib=True
+        ):
+            wrapped = (
+                A.LibBlock(body2, cmd.public_regs) if body2 is not None else None
+            )
+            yield action, "L", wrapped, ls2, g2, b2
+
+    elif isinstance(cmd, A.Labeled):
+        for action, comp2, body2, ls2, g2, b2 in _steps(
+            program, cmd.body, tid, ls, gamma, beta, in_lib
+        ):
+            wrapped = A.Labeled(cmd.label, body2) if body2 is not None else None
+            yield action, comp2, wrapped, ls2, g2, b2
+
+    else:
+        raise SemanticsError(f"cannot step command: {cmd!r}")
+
+
+def _increment(m):
+    if not isinstance(m, int):
+        raise SemanticsError(f"FAI on non-integer value {m!r}")
+    return m + 1

@@ -1,0 +1,128 @@
+"""Witness extraction: shortest executions reaching a configuration.
+
+``reachable`` answers *whether* a configuration exists;
+:func:`find_path` additionally reconstructs a shortest execution — the
+schedule (thread, component, action) that exhibits it.  This is what
+turns a failed verification into an actionable counterexample: the
+broken-lock benches print the exact interleaving through which a client
+observes stale data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lang.program import Program
+from repro.memory.actions import Action
+from repro.semantics.canon import canonical_key
+from repro.semantics.config import Config, initial_config
+from repro.semantics.step import successors
+
+
+@dataclass(frozen=True)
+class WitnessStep:
+    """One scheduled transition of a witness execution."""
+
+    tid: str
+    component: str  # 'C' or 'L'
+    action: Optional[Action]  # None for silent steps
+    config: Config  # configuration *after* the step
+
+    def describe(self) -> str:
+        act = "ǫ" if self.action is None else repr(self.action)
+        return f"[{self.component}] {self.tid}: {act}"
+
+
+@dataclass
+class Witness:
+    """A shortest execution from the initial configuration to a target."""
+
+    initial: Config
+    steps: List[WitnessStep]
+
+    @property
+    def final(self) -> Config:
+        return self.steps[-1].config if self.steps else self.initial
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def schedule(self) -> Tuple[str, ...]:
+        """The thread schedule of the execution."""
+        return tuple(s.tid for s in self.steps)
+
+    def describe(self) -> str:
+        lines = [f"witness execution ({len(self.steps)} steps):"]
+        lines += [f"  {i + 1:2d}. {s.describe()}" for i, s in enumerate(self.steps)]
+        return "\n".join(lines)
+
+
+def find_path(
+    program: Program,
+    predicate: Callable[[Config], bool],
+    max_states: int = 500_000,
+) -> Optional[Witness]:
+    """Shortest execution to a configuration satisfying ``predicate``.
+
+    BFS with parent pointers over canonical states; ``None`` when no
+    reachable configuration satisfies the predicate (within the cap).
+    """
+    init = initial_config(program)
+    if predicate(init):
+        return Witness(initial=init, steps=[])
+    init_key = canonical_key(program, init)
+    # key -> (parent_key, WitnessStep)
+    parents: Dict[Tuple, Tuple[Optional[Tuple], Optional[WitnessStep]]] = {
+        init_key: (None, None)
+    }
+    configs: Dict[Tuple, Config] = {init_key: init}
+    queue = deque([(init_key, init)])
+    while queue:
+        key, cfg = queue.popleft()
+        for tr in successors(program, cfg):
+            tkey = canonical_key(program, tr.target)
+            if tkey in parents:
+                continue
+            if len(parents) >= max_states:
+                return None
+            step = WitnessStep(
+                tid=tr.tid,
+                component=tr.component,
+                action=tr.action,
+                config=tr.target,
+            )
+            parents[tkey] = (key, step)
+            configs[tkey] = tr.target
+            if predicate(tr.target):
+                return _rebuild(init, parents, tkey)
+            queue.append((tkey, tr.target))
+    return None
+
+
+def _rebuild(init: Config, parents, target_key) -> Witness:
+    steps: List[WitnessStep] = []
+    key = target_key
+    while True:
+        parent_key, step = parents[key]
+        if step is None:
+            break
+        steps.append(step)
+        key = parent_key
+    steps.reverse()
+    return Witness(initial=init, steps=steps)
+
+
+def find_terminal_witness(
+    program: Program,
+    predicate: Callable[[Config], bool],
+    max_states: int = 500_000,
+) -> Optional[Witness]:
+    """Shortest execution to a *terminal* configuration satisfying
+    ``predicate`` — the usual shape for weak-behaviour witnesses."""
+    return find_path(
+        program,
+        lambda cfg: cfg.is_terminal() and predicate(cfg),
+        max_states=max_states,
+    )

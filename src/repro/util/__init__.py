@@ -1,0 +1,33 @@
+"""Shared utilities: exact timestamp arithmetic, immutable maps, errors.
+
+These helpers deliberately avoid any dependency on the semantic layers;
+everything else in :mod:`repro` builds on top of them.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    SemanticsError,
+    StuckError,
+    VerificationError,
+)
+from repro.util.fmap import FMap
+from repro.util.rationals import (
+    TS_ZERO,
+    between,
+    fresh_after,
+    next_after,
+    rank_map,
+)
+
+__all__ = [
+    "FMap",
+    "ReproError",
+    "SemanticsError",
+    "StuckError",
+    "TS_ZERO",
+    "VerificationError",
+    "between",
+    "fresh_after",
+    "next_after",
+    "rank_map",
+]

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro framework."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SemanticsError(ReproError):
+    """An operational-semantics rule was applied to a state that does not
+    satisfy its premises (e.g. reading a variable with no write in ``ops``).
+    """
+
+
+class StuckError(SemanticsError):
+    """A configuration has no successors but has not terminated.
+
+    Under the paper's semantics this can only happen for genuinely blocking
+    constructs (an abstract ``acquire`` on a held lock is *disabled*, not
+    stuck — it becomes stuck only if no other thread can ever release).
+    """
+
+
+class VerificationError(ReproError):
+    """A verification judgment failed; carries a counterexample description."""
+
+    def __init__(self, message: str, counterexample: object = None) -> None:
+        super().__init__(message)
+        self.counterexample = counterexample

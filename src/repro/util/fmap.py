@@ -1,0 +1,88 @@
+"""A small immutable mapping with cheap functional update.
+
+The explorer memoises configurations in a visited set, so every piece of
+semantic state must be hashable and immutable.  ``FMap`` wraps a plain
+``dict`` (never mutated after construction) and provides ``set``/``remove``
+returning new maps.  Profiling (per the HPC optimisation guide: measure,
+then optimise the bottleneck) showed dict-copy update is faster at the
+state sizes this framework reaches (tens of entries) than tree-based
+persistent structures, and far simpler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Tuple, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class FMap(Mapping[K, V]):
+    """Immutable hashable mapping with functional update."""
+
+    __slots__ = ("_d", "_hash")
+
+    def __init__(self, items: Mapping[K, V] | None = None) -> None:
+        self._d: Dict[K, V] = dict(items) if items else {}
+        self._hash: int | None = None
+
+    # -- Mapping protocol -------------------------------------------------
+    def __getitem__(self, key: K) -> V:
+        return self._d[key]
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._d)
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._d
+
+    # -- functional updates ------------------------------------------------
+    def set(self, key: K, value: V) -> "FMap[K, V]":
+        """Return a copy with ``key`` bound to ``value``."""
+        new = dict(self._d)
+        new[key] = value
+        return FMap(new)
+
+    def set_many(self, items: Mapping[K, V]) -> "FMap[K, V]":
+        """Return a copy with every binding in ``items`` applied."""
+        if not items:
+            return self
+        new = dict(self._d)
+        new.update(items)
+        return FMap(new)
+
+    def remove(self, key: K) -> "FMap[K, V]":
+        """Return a copy without ``key`` (KeyError when absent)."""
+        new = dict(self._d)
+        del new[key]
+        return FMap(new)
+
+    # -- identity ----------------------------------------------------------
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._d.items()))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FMap):
+            return self._d == other._d
+        if isinstance(other, Mapping):
+            return self._d == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k!r}: {v!r}" for k, v in sorted_items(self._d))
+        return f"FMap({{{inner}}})"
+
+    def items_sorted(self) -> Tuple[Tuple[K, V], ...]:
+        """Items in a deterministic order (for canonical encodings)."""
+        return tuple(sorted_items(self._d))
+
+
+def sorted_items(d: Mapping[Any, Any]):
+    """Sort mapping items by ``repr`` of the key — total and deterministic
+    even for heterogeneous key types."""
+    return sorted(d.items(), key=lambda kv: repr(kv[0]))

@@ -1,0 +1,84 @@
+"""Human-readable rendering of states, configurations and executions.
+
+Counterexamples are only useful if a person can read them; these
+formatters render component states (operations in modification order,
+per-thread viewfronts, covered sets), whole configurations, and witness
+executions.  They are used by the examples and available for debugging
+(`print(format_config(program, cfg))`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.program import Program
+from repro.memory.state import ComponentState
+from repro.semantics.config import Config
+
+
+def format_component(state: ComponentState, name: str = "component") -> str:
+    """Render one component state."""
+    lines: List[str] = [f"{name}:"]
+    by_var = {}
+    for op in state.ops:
+        by_var.setdefault(op.act.var, []).append(op)
+    for var in sorted(by_var):
+        ops = sorted(by_var[var], key=lambda op: op.ts)
+        rendered = []
+        for op in ops:
+            mark = "†" if op in state.cvd else ""
+            rendered.append(f"{op.act!r}{mark}")
+        lines.append(f"  {var}: " + " → ".join(rendered))
+    tids = sorted({t for (t, _x) in state.tview})
+    for t in tids:
+        front = {
+            x: op for (tt, x), op in state.tview.items() if tt == t
+        }
+        parts = [
+            f"{x}@{front[x].ts}" for x in sorted(front)
+        ]
+        lines.append(f"  view[{t}]: " + ", ".join(parts))
+    return "\n".join(lines)
+
+
+def format_locals(cfg: Config) -> str:
+    """Render per-thread local register states."""
+    lines = ["locals:"]
+    for tid in sorted(cfg.locals):
+        ls = cfg.locals[tid]
+        if len(ls) == 0:
+            lines.append(f"  {tid}: (empty)")
+        else:
+            body = ", ".join(
+                f"{r} = {v!r}" for r, v in sorted(ls.items())
+            )
+            lines.append(f"  {tid}: {body}")
+    return "\n".join(lines)
+
+
+def format_config(program: Program, cfg: Config) -> str:
+    """Render a full configuration: pcs, locals, both components.
+
+    Covered operations are marked with ``†``; per-variable operation
+    chains are shown in modification order.
+    """
+    pcs = ", ".join(
+        f"pc{t} = {cfg.pc(t, program)}" for t in program.tids
+    )
+    parts = [
+        f"configuration ({pcs})"
+        + ("  [terminal]" if cfg.is_terminal() else ""),
+        format_locals(cfg),
+        format_component(cfg.gamma, "client γ"),
+        format_component(cfg.beta, "library β"),
+    ]
+    return "\n".join(parts)
+
+
+def format_outcomes(outcomes, regs) -> str:
+    """Render a terminal-outcome set as a small table."""
+    header = " ".join(f"{t}.{r}" for t, r in regs)
+    lines = [header, "-" * len(header)]
+    for row in sorted(outcomes, key=repr):
+        lines.append(" ".join(f"{v!r:>{len(t) + len(r) + 1}}" for v, (t, r) in zip(row, regs)))
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Exact timestamp arithmetic for the RC11 RAR operational semantics.
+
+The semantics of Dalvandi & Dongol (PPoPP 2021, Section 3.3) attaches a
+rational timestamp to every operation.  New operations are inserted into
+the *gap* immediately after some existing operation: ``fresh(q, q')``
+requires ``q < q'`` and that ``q'`` precede every existing timestamp that
+is greater than ``q``.
+
+We use :class:`fractions.Fraction` so gap insertion is exact and
+unbounded.  All placement nondeterminism lives in *which* operation a new
+one follows; the numeric choice within the gap is canonical (midpoint, or
+``max + 1`` at the top), so two runs that order operations identically
+produce identical states.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+#: The timestamp given to every initialising write (paper: "we assume 0 is
+#: the initial timestamp").
+TS_ZERO: Fraction = Fraction(0)
+
+
+def between(lo: Fraction, hi: Fraction) -> Fraction:
+    """Return the canonical timestamp strictly between ``lo`` and ``hi``.
+
+    Raises :class:`ValueError` when the gap is empty (``lo >= hi``).
+    """
+    if lo >= hi:
+        raise ValueError(f"empty timestamp gap: ({lo}, {hi})")
+    return (lo + hi) / 2
+
+
+def next_after(lo: Fraction) -> Fraction:
+    """Return the canonical timestamp used when ``lo`` is currently maximal."""
+    return lo + 1
+
+
+def fresh_after(q: Fraction, existing: Iterable[Fraction]) -> Fraction:
+    """Compute the canonical fresh timestamp ``q'`` with ``fresh(q, q')``.
+
+    ``fresh(q, q') = q < q' ∧ ∀w' ∈ ops. q < tst(w') ⇒ q' < tst(w')``
+    (paper §3.3).  ``existing`` is the multiset of timestamps of *all*
+    operations in the component.  The result is the midpoint of the gap
+    between ``q`` and the least existing timestamp above ``q``, or
+    ``q + 1`` when ``q`` is maximal.
+    """
+    ceiling: Fraction | None = None
+    for ts in existing:
+        if ts > q and (ceiling is None or ts < ceiling):
+            ceiling = ts
+    if ceiling is None:
+        return next_after(q)
+    return between(q, ceiling)
+
+
+def is_fresh(q: Fraction, q_new: Fraction, existing: Iterable[Fraction]) -> bool:
+    """Decide the paper's ``fresh(q, q_new)`` predicate against ``existing``."""
+    if not q < q_new:
+        return False
+    return all(q_new < ts for ts in existing if ts > q)
+
+
+def rank_map(timestamps: Iterable[Fraction]) -> Mapping[Fraction, Fraction]:
+    """Map each distinct timestamp to its integer rank in sorted order.
+
+    Used by state canonicalisation: replacing every timestamp with its rank
+    is an order-isomorphic relabelling, so two states that differ only in
+    the rational values of their timestamps canonicalise identically.
+    """
+    distinct = sorted(set(timestamps))
+    return {ts: Fraction(i) for i, ts in enumerate(distinct)}

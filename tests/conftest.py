@@ -1,0 +1,104 @@
+"""Shared fixtures and program builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.impls.seqlock import SEQLOCK_VARS, seqlock_fill
+from repro.impls.spinlock import SPINLOCK_VARS, spinlock_fill
+from repro.impls.ticketlock import TICKETLOCK_VARS, ticketlock_fill
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.lang.program import Program, Thread
+from repro.litmus.clients import abstract_fill, lock_client
+from repro.objects.lock import AbstractLock
+from repro.objects.stack import AbstractStack
+from repro.semantics.config import initial_config
+from repro.semantics.explore import explore
+
+
+def mp_relaxed() -> Program:
+    t1 = A.seq(A.Write("d", Lit(5)), A.Write("f", Lit(1)))
+    t2 = A.seq(A.Read("r1", "f"), A.Read("r2", "d"))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"d": 0, "f": 0},
+    )
+
+
+def mp_ra() -> Program:
+    t1 = A.seq(A.Write("d", Lit(5)), A.Write("f", Lit(1), release=True))
+    t2 = A.seq(A.Read("r1", "f", acquire=True), A.Read("r2", "d"))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"d": 0, "f": 0},
+    )
+
+
+def single_writer(var: str = "x", value: int = 1, release: bool = False) -> Program:
+    return Program(
+        threads={"1": Thread(A.Write(var, Lit(value), release=release))},
+        client_vars={var: 0},
+    )
+
+
+def abstract_lock_client(**kw) -> Program:
+    fill, objs = abstract_fill(lambda: AbstractLock("l"))
+    return lock_client(fill, objects=objs, **kw)
+
+
+def seqlock_client(**kw) -> Program:
+    return lock_client(seqlock_fill, lib_vars=SEQLOCK_VARS, **kw)
+
+
+def ticketlock_client(**kw) -> Program:
+    return lock_client(ticketlock_fill, lib_vars=TICKETLOCK_VARS, **kw)
+
+
+def spinlock_client(**kw) -> Program:
+    return lock_client(spinlock_fill, lib_vars=SPINLOCK_VARS, **kw)
+
+
+@pytest.fixture(scope="session")
+def mp_relaxed_result():
+    return explore(mp_relaxed())
+
+
+@pytest.fixture(scope="session")
+def mp_ra_result():
+    return explore(mp_ra())
+
+
+@pytest.fixture(scope="session")
+def abstract_lock_result():
+    return explore(abstract_lock_client())
+
+
+@pytest.fixture(scope="session")
+def seqlock_result():
+    return explore(seqlock_client())
+
+
+@pytest.fixture(scope="session")
+def ticketlock_result():
+    return explore(ticketlock_client())
+
+
+@pytest.fixture(scope="session")
+def spinlock_result():
+    return explore(spinlock_client())
+
+
+def stack_program(sync: bool = True) -> Program:
+    push = "pushR" if sync else "push"
+    pop = "popA" if sync else "pop"
+    t1 = A.seq(A.Write("d", Lit(5)), A.MethodCall("s", push, arg=Lit(1)))
+    t2 = A.seq(
+        A.do_until(A.MethodCall("s", pop, dest="r1"), Reg("r1").eq(1)),
+        A.Read("r2", "d"),
+    )
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"d": 0},
+        objects=(AbstractStack("s"),),
+    )

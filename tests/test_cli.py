@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main, run_figures, run_litmus, run_refine
+
+
+class TestJobs:
+    def test_run_litmus(self, capsys):
+        assert run_litmus() is True
+        out = capsys.readouterr().out
+        assert "MP-relaxed" in out and "OK" in out
+
+    def test_run_figures(self, capsys):
+        assert run_figures() is True
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "Lemma 4" in out
+
+    def test_run_refine(self, capsys):
+        assert run_refine() is True
+        out = capsys.readouterr().out
+        assert "seqlock_fill" in out and "PASS" in out
+
+
+class TestMain:
+    def test_single_command(self, capsys):
+        assert main(["repro", "figures"]) == 0
+        assert "ALL CHECKS PASS" in capsys.readouterr().out
+
+    def test_unknown_command_shows_help(self, capsys):
+        assert main(["repro", "bogus"]) == 2
+        assert "Commands" in capsys.readouterr().out
+
+    def test_default_is_all(self, capsys):
+        assert main(["repro"]) == 0
+        out = capsys.readouterr().out
+        assert "litmus" in out or "MP-relaxed" in out
+        assert "refinement report" in out

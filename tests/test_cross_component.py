@@ -1,0 +1,116 @@
+"""Cross-component synchronisation (paper §3.3's headline feature).
+
+"The semantics accommodates both client synchronisation affecting a
+library, and vice versa."  The lock/stack tests exercise the
+library-to-client direction; here the *reverse* is pinned down: a
+release/acquire handshake on a **client** variable must transfer each
+thread's view of **library** variables too, and vice versa for relaxed
+handshakes.
+"""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.lang.program import Program, Thread
+from repro.semantics.explore import explore
+
+
+def _program(release: bool, acquire: bool) -> Program:
+    """t1: write library glb (relaxed, inside the library); publish via a
+    *client* flag.  t2: acquire the client flag; read glb in the library.
+    """
+    t1 = A.seq(
+        A.LibBlock(A.Write("glb", Lit(7))),
+        A.Write("flag", Lit(1), release=release),
+    )
+    t2 = A.seq(
+        A.Read("r1", "flag", acquire=acquire),
+        A.LibBlock(A.Read("r2", "glb")),
+        A.LocalAssign("out", Reg("r2")),
+    )
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"flag": 0},
+        lib_vars={"glb": 0},
+    )
+
+
+class TestClientSyncTransfersLibraryViews:
+    def test_release_acquire_publishes_library_write(self):
+        outcomes = explore(_program(True, True)).terminal_locals(
+            ("2", "r1"), ("2", "out")
+        )
+        # Once the client flag is read as 1, the library read *must*
+        # return 7: the client handshake advanced t2's β-view.
+        assert (1, 0) not in outcomes
+        assert (1, 7) in outcomes
+        assert (0, 0) in outcomes
+
+    def test_relaxed_flag_does_not_publish(self):
+        outcomes = explore(_program(False, False)).terminal_locals(
+            ("2", "r1"), ("2", "out")
+        )
+        assert (1, 0) in outcomes  # stale library read possible
+
+    def test_release_only_insufficient(self):
+        outcomes = explore(_program(True, False)).terminal_locals(
+            ("2", "r1"), ("2", "out")
+        )
+        assert (1, 0) in outcomes
+
+
+class TestLibrarySyncTransfersClientViews:
+    def _program(self, release: bool, acquire: bool) -> Program:
+        """The mirror image: publish a *client* write via a library flag."""
+        t1 = A.seq(
+            A.Write("d", Lit(5)),
+            A.LibBlock(A.Write("lflag", Lit(1), release=release)),
+        )
+        t2 = A.seq(
+            A.LibBlock(A.Read("r1", "lflag", acquire=acquire)),
+            A.Read("r2", "d"),
+        )
+        return Program(
+            threads={"1": Thread(t1), "2": Thread(t2)},
+            client_vars={"d": 0},
+            lib_vars={"lflag": 0},
+        )
+
+    def test_library_handshake_publishes_client_write(self):
+        outcomes = explore(self._program(True, True)).terminal_locals(
+            ("2", "r1"), ("2", "r2")
+        )
+        assert (1, 0) not in outcomes
+        assert (1, 5) in outcomes
+
+    def test_relaxed_library_flag_does_not(self):
+        outcomes = explore(self._program(False, False)).terminal_locals(
+            ("2", "r1"), ("2", "r2")
+        )
+        assert (1, 0) in outcomes
+
+
+class TestCasHandshakeAcrossComponents:
+    def test_client_cas_transfers_library_views(self):
+        """An update (CAS) on a client variable synchronises library
+        views too — the Update rule's ctview computation."""
+        t1 = A.seq(
+            A.LibBlock(A.Write("glb", Lit(9))),
+            A.Write("flag", Lit(1), release=True),
+        )
+        t2 = A.seq(
+            A.Cas("ok", "flag", Lit(1), Lit(2)),
+            A.LibBlock(A.Read("r", "glb")),
+        )
+        p = Program(
+            threads={"1": Thread(t1), "2": Thread(t2)},
+            client_vars={"flag": 0},
+            lib_vars={"glb": 0},
+        )
+        outcomes = explore(p).terminal_locals(("2", "ok"), ("2", "r"))
+        # Successful CAS on the released flag ⇒ library read sees 9.
+        assert (True, 0) not in outcomes
+        assert (True, 9) in outcomes
+        # Failed CAS (read stale 0) leaves the library view alone.
+        assert any(ok is False for ok, _ in outcomes)

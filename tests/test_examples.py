@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion successfully."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[s.stem for s in EXAMPLES])
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_expected_examples_present():
+    names = {s.stem for s in EXAMPLES}
+    assert {
+        "quickstart",
+        "message_passing_stack",
+        "lock_refinement",
+        "litmus_explorer",
+        "custom_object",
+        "bug_hunting",
+        "work_queue",
+    } <= names

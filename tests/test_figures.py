@@ -1,0 +1,65 @@
+"""End-to-end tests for the paper's figure programs."""
+
+import pytest
+
+from repro.figures.fig1 import EXPECTED_OUTCOMES as FIG1_EXPECTED
+from repro.figures.fig1 import fig1_program
+from repro.figures.fig2 import EXPECTED_OUTCOMES as FIG2_EXPECTED
+from repro.figures.fig2 import fig2_program
+from repro.figures.fig7 import EXPECTED_OUTCOMES as FIG7_EXPECTED
+from repro.figures.fig7 import fig7_program
+from repro.semantics.explore import explore
+
+
+class TestFig1:
+    def test_weak_postcondition(self):
+        """The stale read r2 = 0 is reachable with a relaxed stack."""
+        result = explore(fig1_program())
+        assert not result.truncated and not result.stuck
+        outcomes = result.terminal_locals(("2", "r2"))
+        assert outcomes == FIG1_EXPECTED
+
+    def test_pop_always_returns_pushed_value(self):
+        result = explore(fig1_program())
+        assert result.terminal_locals(("2", "r1")) == {(1,)}
+
+
+class TestFig2:
+    def test_publication(self):
+        """Release/acquire stack operations guarantee r2 = 5."""
+        result = explore(fig2_program())
+        assert not result.truncated and not result.stuck
+        outcomes = result.terminal_locals(("2", "r2"))
+        assert outcomes == FIG2_EXPECTED
+
+    def test_stale_read_unreachable(self):
+        result = explore(fig2_program())
+        assert (0,) not in result.terminal_locals(("2", "r2"))
+
+
+class TestFig7:
+    def test_postcondition_with_versions(self):
+        """(r1 = r2 = 0 ∧ rl = 1) ∨ (r1 = r2 = 5 ∧ rl = 3)."""
+        result = explore(fig7_program())
+        assert not result.truncated and not result.stuck
+        outcomes = result.terminal_locals(("2", "rl"), ("2", "r1"), ("2", "r2"))
+        assert outcomes == FIG7_EXPECTED
+
+    def test_mutual_exclusion_invariant(self):
+        """No reachable configuration has both threads in their critical
+        sections (the first conjunct of the paper's Inv)."""
+        p = fig7_program()
+
+        def both_in_cs(cfg):
+            return cfg.pc("1", p) in (2, 3, 4) and cfg.pc("2", p) in (2, 3, 4)
+
+        result = explore(p)
+        assert not any(both_in_cs(c) for c in result.configs.values())
+
+    def test_lock_versions_alternate(self):
+        """Lock operation indices are consecutive: init_0, acquire_1,
+        release_2, acquire_3, release_4."""
+        result = explore(fig7_program())
+        for cfg in result.terminals:
+            indices = sorted(op.act.index for op in cfg.beta.ops_on("l"))
+            assert indices == [0, 1, 2, 3, 4]

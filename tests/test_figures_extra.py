@@ -1,0 +1,123 @@
+"""Additional figure-level verifications: the variable-level MP outline,
+three-thread lock clients, and further broken-implementation controls."""
+
+import pytest
+
+from repro.figures.mp_outline import mp_outline, mp_ra_labelled
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.lang.program import Program, Thread
+from repro.litmus.clients import abstract_fill, lock_client_three_threads
+from repro.logic.owicki import check_proof_outline
+from repro.objects.lock import AbstractLock
+from repro.semantics.explore import explore
+
+
+class TestMpOutline:
+    def test_valid(self):
+        result = check_proof_outline(mp_outline())
+        assert result.valid
+        assert result.obligations > 0
+
+    def test_program_outcomes(self):
+        result = explore(mp_ra_labelled())
+        assert result.terminal_locals(("2", "r2")) == {(5,)}
+
+    def test_mutated_rejected(self):
+        from repro.assertions.core import LocalEq
+        from repro.logic.outline import ProofOutline
+
+        outline = mp_outline()
+        bad = ProofOutline(
+            program=outline.program,
+            threads=outline.threads,
+            postcondition=LocalEq("2", "r2", 0),
+        )
+        assert not check_proof_outline(bad).valid
+
+    def test_relaxed_variant_fails_outline(self):
+        """The same outline over the *relaxed* MP program must fail: the
+        conditional observation is falsified once f = 1 is written
+        without release."""
+        from repro.logic.outline import ProofOutline
+
+        t1 = A.seq(
+            A.Labeled(1, A.Write("d", Lit(5))),
+            A.Labeled(2, A.Write("f", Lit(1))),  # relaxed!
+        )
+        t2 = A.seq(
+            A.Labeled(
+                3, A.do_until(A.Read("r1", "f", acquire=True), Reg("r1").eq(1))
+            ),
+            A.Labeled(4, A.Read("r2", "d")),
+        )
+        program = Program(
+            threads={
+                "1": Thread(t1, done_label=3),
+                "2": Thread(t2, done_label=5),
+            },
+            client_vars={"d": 0, "f": 0},
+        )
+        outline = mp_outline()
+        bad = ProofOutline(
+            program=program,
+            threads=outline.threads,
+            postcondition=outline.postcondition,
+        )
+        assert not check_proof_outline(bad).valid
+
+
+class TestThreeThreadLock:
+    @pytest.fixture(scope="class")
+    def result(self):
+        fill, objs = abstract_fill(lambda: AbstractLock("l"))
+        return explore(lock_client_three_threads(fill, objects=objs))
+
+    def test_no_deadlock(self, result):
+        assert not result.stuck and result.terminals
+
+    def test_versions_sequential(self, result):
+        for cfg in result.terminals:
+            indices = sorted(op.act.index for op in cfg.beta.ops_on("l"))
+            assert indices == list(range(7))  # init + 3×(acquire, release)
+
+    def test_mutual_exclusion(self, result):
+        p = result.program
+        for cfg in result.configs.values():
+            in_cs = [t for t in p.tids if cfg.pc(t, p) == 2]
+            assert len(in_cs) <= 1
+
+    def test_final_value_is_some_thread_write(self, result):
+        for cfg in result.terminals:
+            final = cfg.gamma.last_op("x")
+            assert final.act.val in (1, 2, 3)
+
+
+class TestBrokenTicketVariant:
+    def test_relaxed_serving_read_breaks_refinement(self):
+        """A ticket lock whose serving read is *relaxed* provides mutual
+        exclusion (the FAI still orders tickets) but not publication."""
+        from repro.litmus.clients import lock_client
+        from repro.refinement.simulation import find_forward_simulation
+        from tests.conftest import abstract_lock_client
+
+        def broken(obj, method, dest=None):
+            if method == "acquire":
+                return A.LibBlock(
+                    A.seq(
+                        A.Fai("_m", "nt"),
+                        A.do_until(
+                            A.Read("_s", "sn", acquire=False),  # BUG
+                            Reg("_m").eq(Reg("_s")),
+                        ),
+                    )
+                )
+            return A.LibBlock(A.Write("sn", Reg("_s") + 1, release=True))
+
+        concrete = lock_client(broken, lib_vars={"nt": 0, "sn": 0})
+        # The stale read is observable by the client…
+        outcomes = explore(concrete).terminal_locals(("2", "a"), ("2", "b"))
+        assert outcomes != {(0, 0), (5, 5)}
+        # …and refinement fails.
+        result = find_forward_simulation(concrete, abstract_lock_client())
+        assert not result.found

@@ -1,0 +1,190 @@
+"""Behavioural tests for the concrete implementations themselves."""
+
+import pytest
+
+from repro.impls.counter_fai import FAICOUNTER_VARS, counter_fill
+from repro.impls.seqlock import SEQLOCK_VARS, seqlock_fill
+from repro.impls.spinlock import SPINLOCK_VARS, spinlock_fill
+from repro.impls.ticketlock import TICKETLOCK_VARS, ticketlock_fill
+from repro.lang import ast as A
+from repro.lang.expr import Lit
+from repro.lang.program import Program, Thread
+from repro.semantics.explore import explore
+from tests.conftest import (
+    seqlock_client,
+    spinlock_client,
+    ticketlock_client,
+)
+
+LOCKS = [
+    ("seqlock", seqlock_fill, SEQLOCK_VARS),
+    ("ticketlock", ticketlock_fill, TICKETLOCK_VARS),
+    ("spinlock", spinlock_fill, SPINLOCK_VARS),
+]
+
+
+@pytest.mark.parametrize("name,fill,lib_vars", LOCKS, ids=[l[0] for l in LOCKS])
+class TestLockBehaviour:
+    def test_mutual_exclusion_on_writes(self, name, fill, lib_vars):
+        """Two writers under the lock: the final value is whichever wrote
+        last; intermediate states never interleave mid-critical-section.
+        With values 5 and 7, readers of x at the end see 5 or 7, never a
+        torn mix (trivially true here) — and crucially, the two writes
+        are never both 'live': the mo-maximal write is the second CS."""
+        body1 = A.seq(
+            fill("l", "acquire"),
+            A.Write("x", Lit(5)),
+            A.Write("x", Lit(6)),
+            fill("l", "release"),
+        )
+        body2 = A.seq(
+            fill("l", "acquire"),
+            A.Read("a", "x"),
+            A.Read("b", "x"),
+            fill("l", "release"),
+        )
+        p = Program(
+            threads={"1": Thread(body1), "2": Thread(body2)},
+            client_vars={"x": 0},
+            lib_vars=dict(lib_vars),
+        )
+        result = explore(p)
+        assert not result.stuck and not result.truncated
+        outcomes = result.terminal_locals(("2", "a"), ("2", "b"))
+        # Reader runs before (0,0) or after (6,6) — never between the
+        # writes (no (5, …) observations): the lock publishes both.
+        assert outcomes == {(0, 0), (6, 6)}
+
+    def test_no_deadlock(self, name, fill, lib_vars):
+        result = explore(
+            Program(
+                threads={
+                    "1": Thread(
+                        A.seq(fill("l", "acquire"), fill("l", "release"))
+                    ),
+                    "2": Thread(
+                        A.seq(fill("l", "acquire"), fill("l", "release"))
+                    ),
+                },
+                lib_vars=dict(lib_vars),
+            )
+        )
+        assert not result.stuck
+        assert result.terminals
+
+    def test_publication(self, name, fill, lib_vars):
+        """Figure-7-style publication through the implementation."""
+        body1 = A.seq(
+            fill("l", "acquire"),
+            A.Write("d", Lit(5)),
+            fill("l", "release"),
+        )
+        body2 = A.seq(
+            fill("l", "acquire"),
+            A.Read("r", "d"),
+            fill("l", "release"),
+        )
+        p = Program(
+            threads={"1": Thread(body1), "2": Thread(body2)},
+            client_vars={"d": 0},
+            lib_vars=dict(lib_vars),
+        )
+        outcomes = explore(p).terminal_locals(("2", "r"))
+        assert outcomes == {(0,), (5,)}
+
+
+class TestSeqlockSpecifics:
+    def test_glb_parity_protocol(self):
+        """glb is odd exactly while held; ends even."""
+        p = seqlock_client()
+        result = explore(p)
+        for cfg in result.terminals:
+            final = cfg.beta.last_op("glb")
+            assert final.act.val % 2 == 0
+
+    def test_acquire_returns_true_when_bound(self):
+        body = A.seq(
+            seqlock_fill("l", "acquire", dest="ok"),
+            seqlock_fill("l", "release"),
+        )
+        p = Program(
+            threads={"1": Thread(body)},
+            lib_vars=dict(SEQLOCK_VARS),
+        )
+        result = explore(p)
+        assert result.terminal_locals(("1", "ok")) == {(True,)}
+
+
+class TestTicketlockSpecifics:
+    def test_tickets_dispensed_in_order(self):
+        p = ticketlock_client()
+        result = explore(p)
+        for cfg in result.terminals:
+            # nt ends at 2 (two tickets taken), sn at 2 (both served).
+            assert cfg.beta.last_op("nt").act.val == 2
+            assert cfg.beta.last_op("sn").act.val == 2
+
+    def test_fifo_fairness(self):
+        """The ticket lock serves in ticket order: whichever thread takes
+        ticket 0 enters first.  (The spinlock has no such guarantee.)"""
+        body1 = A.seq(
+            ticketlock_fill("l", "acquire"),
+            A.Write("x", Lit(1)),
+            ticketlock_fill("l", "release"),
+        )
+        body2 = A.seq(
+            ticketlock_fill("l", "acquire"),
+            A.Read("r", "x"),
+            ticketlock_fill("l", "release"),
+        )
+        p = Program(
+            threads={"1": Thread(body1), "2": Thread(body2)},
+            client_vars={"x": 0},
+            lib_vars=dict(TICKETLOCK_VARS),
+        )
+        result = explore(p)
+        for cfg in result.terminals:
+            t1_ticket = cfg.local("1", "_tl_m")
+            t2_ticket = cfg.local("2", "_tl_m")
+            assert {t1_ticket, t2_ticket} == {0, 1}
+            # Ticket 0 enters first: if thread 2 held ticket 0 it read
+            # x = 0; with ticket 1 it must have read 1.
+            if t2_ticket == 0:
+                assert cfg.local("2", "r") == 0
+            else:
+                assert cfg.local("2", "r") == 1
+
+
+class TestFaiCounter:
+    def test_two_incs_distinct(self):
+        p = Program(
+            threads={
+                "1": Thread(counter_fill("c", "inc", dest="a")),
+                "2": Thread(counter_fill("c", "inc", dest="b")),
+            },
+            lib_vars=dict(FAICOUNTER_VARS),
+        )
+        outcomes = explore(p).terminal_locals(("1", "a"), ("2", "b"))
+        assert outcomes == {(0, 1), (1, 0)}
+
+    def test_read_modes(self):
+        p = Program(
+            threads={
+                "1": Thread(counter_fill("c", "inc", dest="a")),
+                "2": Thread(counter_fill("c", "read", dest="b")),
+            },
+            lib_vars=dict(FAICOUNTER_VARS),
+        )
+        outcomes = explore(p).terminal_locals(("2", "b"))
+        assert outcomes == {(0,), (1,)}
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            counter_fill("c", "reset")
+
+
+class TestFillValidation:
+    @pytest.mark.parametrize("fill", [seqlock_fill, ticketlock_fill, spinlock_fill])
+    def test_unknown_method_raises(self, fill):
+        with pytest.raises(ValueError):
+            fill("l", "downgrade")

@@ -1,0 +1,113 @@
+"""Tests for the command AST and its helpers."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+
+
+class TestSeq:
+    def test_seq_two(self):
+        s = A.seq(A.LocalAssign("a", Lit(1)), A.LocalAssign("b", Lit(2)))
+        assert isinstance(s, A.Seq)
+        assert isinstance(s.first, A.LocalAssign)
+
+    def test_seq_right_nested(self):
+        s = A.seq(
+            A.LocalAssign("a", Lit(1)),
+            A.LocalAssign("b", Lit(2)),
+            A.LocalAssign("c", Lit(3)),
+        )
+        assert isinstance(s, A.Seq)
+        assert isinstance(s.second, A.Seq)
+
+    def test_seq_skips_none(self):
+        s = A.seq(None, A.LocalAssign("a", Lit(1)), None)
+        assert isinstance(s, A.LocalAssign)
+
+    def test_seq_empty_is_none(self):
+        assert A.seq() is None
+
+    def test_seq_single(self):
+        stmt = A.LocalAssign("a", Lit(1))
+        assert A.seq(stmt) is stmt
+
+
+class TestSeqCons:
+    def test_finished_first_collapses(self):
+        rest = A.LocalAssign("b", Lit(2))
+        assert A.seq_cons(None, rest) is rest
+
+    def test_unfinished_first_rebuilds(self):
+        first = A.LocalAssign("a", Lit(1))
+        rest = A.LocalAssign("b", Lit(2))
+        out = A.seq_cons(first, rest)
+        assert isinstance(out, A.Seq)
+        assert out.first is first
+
+
+class TestDoUntil:
+    def test_desugars_to_seq_while(self):
+        body = A.LocalAssign("a", Lit(1))
+        loop = A.do_until(body, Reg("a").eq(1))
+        assert isinstance(loop, A.Seq)
+        assert loop.first is body
+        assert isinstance(loop.second, A.While)
+        # Guard is the negation of the until-condition.
+        assert loop.second.cond.op == "not"
+
+
+class TestNodeImmutability:
+    def test_frozen(self):
+        w = A.Write("x", Lit(1))
+        with pytest.raises(Exception):
+            w.var = "y"
+
+    def test_hashable(self):
+        s = A.seq(A.Write("x", Lit(1)), A.Read("r", "x"))
+        assert hash(s) == hash(
+            A.seq(A.Write("x", Lit(1)), A.Read("r", "x"))
+        )
+
+    def test_equality_structural(self):
+        assert A.Write("x", Lit(1)) == A.Write("x", Lit(1))
+        assert A.Write("x", Lit(1)) != A.Write("x", Lit(1), release=True)
+
+
+class TestLibraryRegisters:
+    def test_client_code_has_none(self):
+        cmd = A.seq(A.Read("r", "x"), A.LocalAssign("a", Lit(1)))
+        assert A.library_registers(cmd) == frozenset()
+
+    def test_libblock_registers_collected(self):
+        cmd = A.LibBlock(
+            A.seq(
+                A.Read("_r", "glb"),
+                A.Cas("_loc", "glb", Reg("_r"), Reg("_r") + 1),
+            )
+        )
+        assert A.library_registers(cmd) == {"_r", "_loc"}
+
+    def test_mixed_nesting(self):
+        cmd = A.seq(
+            A.Read("client_r", "x"),
+            A.Labeled(1, A.LibBlock(A.Fai("_m", "nt"))),
+            A.If(Reg("client_r").eq(0), A.LibBlock(A.LocalAssign("_t", Lit(0)))),
+        )
+        assert A.library_registers(cmd) == {"_m", "_t"}
+
+    def test_while_bodies_scanned(self):
+        cmd = A.While(Reg("r").eq(0), A.LibBlock(A.Read("_s", "sn")))
+        assert A.library_registers(cmd) == {"_s"}
+
+    def test_writes_and_method_calls_bind_nothing(self):
+        cmd = A.LibBlock(
+            A.seq(A.Write("glb", Lit(0)), A.MethodCall("l", "acquire"))
+        )
+        assert A.library_registers(cmd) == frozenset()
+
+
+class TestSkip:
+    def test_skip_is_local_assign(self):
+        s = A.skip()
+        assert isinstance(s, A.LocalAssign)

@@ -1,0 +1,144 @@
+"""Tests for the local-expression language."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.expr import (
+    EMPTY,
+    BinOp,
+    Lit,
+    Reg,
+    UnOp,
+    eval_bool,
+    eval_expr,
+    lit,
+    reg,
+    registers_of,
+)
+from repro.util.errors import SemanticsError
+
+
+class TestLiterals:
+    def test_int(self):
+        assert eval_expr(Lit(42), {}) == 42
+
+    def test_bool(self):
+        assert eval_expr(Lit(True), {}) is True
+
+    def test_empty_value(self):
+        assert eval_expr(Lit(EMPTY), {}) == EMPTY
+
+    def test_constructors(self):
+        assert lit(3) == Lit(3)
+        assert reg("r") == Reg("r")
+
+
+class TestRegisters:
+    def test_lookup(self):
+        assert eval_expr(Reg("r"), {"r": 7}) == 7
+
+    def test_unbound_raises(self):
+        with pytest.raises(SemanticsError):
+            eval_expr(Reg("r"), {})
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("+", 2, 3, 5),
+            ("-", 2, 3, -1),
+            ("*", 4, 3, 12),
+            ("%", 7, 2, 1),
+            ("==", 2, 2, True),
+            ("!=", 2, 3, True),
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 1, 2, False),
+            ("and", True, False, False),
+            ("or", True, False, True),
+        ],
+    )
+    def test_binary(self, op, a, b, expected):
+        assert eval_expr(BinOp(op, Lit(a), Lit(b)), {}) == expected
+
+    @pytest.mark.parametrize(
+        "op,a,expected",
+        [
+            ("not", True, False),
+            ("-", 5, -5),
+            ("even", 4, True),
+            ("even", 3, False),
+            ("odd", 3, True),
+            ("odd", 4, False),
+        ],
+    )
+    def test_unary(self, op, a, expected):
+        assert eval_expr(UnOp(op, Lit(a)), {}) == expected
+
+    def test_even_of_empty_is_false(self):
+        assert eval_expr(UnOp("even", Lit(EMPTY)), {}) is False
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(SemanticsError):
+            eval_expr(BinOp("xor", Lit(1), Lit(2)), {})
+        with pytest.raises(SemanticsError):
+            eval_expr(UnOp("sqrt", Lit(4)), {})
+
+
+class TestFluentApi:
+    def test_arithmetic_sugar(self):
+        e = Reg("r") + 1
+        assert eval_expr(e, {"r": 2}) == 3
+
+    def test_comparison_sugar(self):
+        assert eval_expr(Reg("r").eq(5), {"r": 5}) is True
+        assert eval_expr(Reg("r").ne(5), {"r": 5}) is False
+        assert eval_expr(Reg("r").lt(5), {"r": 4}) is True
+        assert eval_expr(Reg("r").ge(5), {"r": 5}) is True
+
+    def test_logical_sugar(self):
+        e = Reg("a").eq(1).and_(Reg("b").eq(2))
+        assert eval_bool(e, {"a": 1, "b": 2})
+        assert not eval_bool(e, {"a": 1, "b": 3})
+        assert eval_bool(Reg("a").eq(9).or_(Reg("b").eq(2)), {"a": 1, "b": 2})
+        assert eval_bool(Reg("a").eq(9).not_(), {"a": 1})
+
+    def test_even_odd_sugar(self):
+        assert eval_bool(Reg("r").even(), {"r": 2})
+        assert eval_bool(Reg("r").odd(), {"r": 3})
+
+    def test_coercion_of_plain_values(self):
+        e = Reg("r").eq(EMPTY)
+        assert eval_bool(e, {"r": EMPTY})
+
+    @given(a=st.integers(-50, 50), b=st.integers(-50, 50))
+    def test_property_addition_matches_python(self, a, b):
+        assert eval_expr(Reg("x") + Reg("y"), {"x": a, "y": b}) == a + b
+
+
+class TestRegistersOf:
+    def test_literal_has_none(self):
+        assert registers_of(Lit(1)) == frozenset()
+
+    def test_collects_nested(self):
+        e = (Reg("a") + Reg("b")).eq(Reg("c").not_())
+        assert registers_of(e) == {"a", "b", "c"}
+
+
+class TestEmptySingleton:
+    def test_identity(self):
+        from repro.lang.expr import _Empty
+
+        assert _Empty() is EMPTY
+
+    def test_equality_and_hash(self):
+        assert EMPTY == EMPTY
+        assert EMPTY != 0
+        assert EMPTY != False  # noqa: E712 — deliberate: Empty is not falsy-equal
+        assert hash(EMPTY) == hash(EMPTY)
+
+    def test_repr(self):
+        assert repr(EMPTY) == "Empty"

@@ -1,0 +1,60 @@
+"""Tests for program-counter extraction from continuations."""
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.lang.labels import DONE_PC, pc_of
+
+
+class TestPcOf:
+    def test_terminated_thread(self):
+        assert pc_of(None) == DONE_PC
+
+    def test_custom_done_label(self):
+        assert pc_of(None, done_label=5) == 5
+
+    def test_labeled_statement(self):
+        cmd = A.Labeled(3, A.Write("x", Lit(1)))
+        assert pc_of(cmd) == 3
+
+    def test_leftmost_in_sequence(self):
+        cmd = A.seq(
+            A.Labeled(1, A.Write("x", Lit(1))),
+            A.Labeled(2, A.Write("y", Lit(2))),
+        )
+        assert pc_of(cmd) == 1
+
+    def test_label_persists_inside_region(self):
+        # A label wrapping a loop denotes the whole region: stepping
+        # inside must keep the same pc.
+        loop = A.Labeled(
+            3, A.do_until(A.MethodCall("s", "pop", dest="r"), Reg("r").eq(1))
+        )
+        assert pc_of(loop) == 3
+        # Mid-execution shape: Labeled(3, While(...)).
+        mid = A.Labeled(3, A.While(Reg("r").eq(0), A.MethodCall("s", "pop", dest="r")))
+        assert pc_of(mid) == 3
+
+    def test_label_wrapping_libblock(self):
+        cmd = A.Labeled(1, A.LibBlock(A.Fai("_m", "nt")))
+        assert pc_of(cmd) == 1
+
+    def test_unlabelled_active_command(self):
+        assert pc_of(A.Write("x", Lit(1))) is None
+
+    def test_unlabelled_prefix_falls_through_to_label(self):
+        # An unlabelled leading command belongs to the previous label's
+        # region; the leftmost label after it is reported.
+        cmd = A.seq(A.LocalAssign("t", Lit(0)), A.Labeled(7, A.Write("x", Lit(1))))
+        assert pc_of(cmd) == 7
+
+    def test_label_inside_while_body(self):
+        cmd = A.While(Reg("r").eq(0), A.Labeled(2, A.Read("r", "x")))
+        assert pc_of(cmd) == 2
+
+    def test_if_branches_not_consulted(self):
+        cmd = A.If(Reg("r").eq(0), A.Labeled(9, A.Write("x", Lit(1))))
+        assert pc_of(cmd) is None
+
+    def test_string_labels(self):
+        cmd = A.Labeled("cs", A.Write("x", Lit(1)))
+        assert pc_of(cmd) == "cs"

@@ -1,0 +1,38 @@
+"""The litmus battery: validates Figure 5 against RC11 RAR verdicts."""
+
+import pytest
+
+from repro.litmus.catalog import LITMUS_TESTS, run_litmus
+
+
+@pytest.mark.parametrize("test", LITMUS_TESTS, ids=[t.name for t in LITMUS_TESTS])
+class TestLitmus:
+    def test_exact_outcome_set(self, test):
+        result = run_litmus(test)
+        assert result["outcomes"] == set(test.allowed), (
+            f"{test.name}: got {sorted(result['outcomes'], key=repr)}, "
+            f"expected {sorted(test.allowed, key=repr)}"
+        )
+
+    def test_weak_behaviour_verdict(self, test):
+        result = run_litmus(test)
+        assert result["weak_observed"] == test.weak_allowed
+
+
+class TestCatalogueShape:
+    def test_names_unique(self):
+        names = [t.name for t in LITMUS_TESTS]
+        assert len(names) == len(set(names))
+
+    def test_covers_key_shapes(self):
+        names = {t.name for t in LITMUS_TESTS}
+        for required in ("MP-relaxed", "MP-RA", "SB-relaxed", "LB", "CoRR",
+                         "IRIW-RA", "CAS-atomicity", "FAI-atomicity"):
+            assert required in names
+
+    def test_weak_outcomes_disjoint_from_allowed_when_forbidden(self):
+        for t in LITMUS_TESTS:
+            if not t.weak_allowed:
+                assert not (t.weak & t.allowed), t.name
+            else:
+                assert t.weak <= t.allowed, t.name

@@ -1,0 +1,112 @@
+"""Tests for the Lemma 3 rule harness.
+
+All six rules must validate over the client universes for feasible
+release indices; the degenerate ``u = 0`` instantiation of rule (5)
+documents the implicit side condition (``release_0`` cannot exist — the
+index-0 operation is ``init`` — so the conditional precondition is
+vacuous while ``v = 1`` remains attainable by synchronising with
+``init_0``).
+"""
+
+import pytest
+
+from repro.litmus.clients import (
+    abstract_fill,
+    lock_client,
+    lock_client_one_sided,
+)
+from repro.logic.lockrules import (
+    check_all_rules,
+    check_rule1,
+    check_rule2,
+    check_rule3,
+    check_rule4,
+    check_rule5,
+    check_rule6,
+)
+from repro.logic.triples import collect_universe
+from repro.objects.lock import AbstractLock
+
+
+def _mk(builder, **kw):
+    fill, objs = abstract_fill(lambda: AbstractLock("l"))
+    return builder(fill, objects=objs, **kw)
+
+
+@pytest.fixture(scope="module")
+def groups():
+    programs = [
+        _mk(lock_client),
+        _mk(lock_client, readers=False),
+        _mk(lock_client_one_sided),
+    ]
+    return collect_universe(programs)
+
+
+class TestIndividualRules:
+    def test_rule1(self, groups):
+        program, universe = groups[0]
+        for t in ("1", "2"):
+            assert check_rule1(program, universe, "l", t, 2).valid
+
+    def test_rule2_both_methods(self, groups):
+        program, universe = groups[0]
+        for m in ("acquire", "release"):
+            assert check_rule2(program, universe, "l", "1", 2, m).valid
+
+    def test_rule3(self, groups):
+        program, universe = groups[0]
+        result = check_rule3(program, universe, "l", "2", 2)
+        assert result.valid
+        assert result.checked > 0  # non-vacuous: [l.release_2]_2 reachable
+
+    def test_rule4_stability(self, groups):
+        program, universe = groups[0]
+        result = check_rule4(
+            program, universe, "l", "1", "2", "x", 0, "acquire"
+        )
+        assert result.valid
+        assert result.checked > 0
+
+    def test_rule5(self, groups):
+        program, universe = groups[0]
+        result = check_rule5(program, universe, "l", "2", 2, "x", 5)
+        assert result.valid
+
+    def test_rule6(self, groups):
+        program, universe = groups[0]
+        result = check_rule6(program, universe, "l", "1", "2", 2, "x", 5)
+        assert result.valid
+        assert result.checked > 0
+
+    def test_rule5_u0_caveat(self, groups):
+        """u = 0 lies outside the rule schema: release_0 cannot exist, so
+        the precondition is vacuous while v = 1 is attainable.  The
+        harness (correctly) reports the instance invalid, documenting
+        the side condition the paper leaves implicit."""
+        program, universe = groups[0]
+        result = check_rule5(program, universe, "l", "1", 0, "x", 5)
+        assert not result.valid
+
+    def test_rule5_odd_u_vacuous(self, groups):
+        """Odd u: v = u + 1 would be an even acquire index, which never
+        occurs (acquires take odd indices), so the rule holds vacuously."""
+        program, universe = groups[0]
+        assert check_rule5(program, universe, "l", "1", 1, "x", 5).valid
+
+
+class TestAllRules:
+    def test_everything_valid_on_feasible_indices(self, groups):
+        reports = check_all_rules(groups, indices=(2, 4), values=(0, 5))
+        for name, report in reports.items():
+            assert report.valid, f"{name} failed: {report.failures[:1]}"
+
+    def test_instance_counts(self, groups):
+        reports = check_all_rules(groups, indices=(2,), values=(5,))
+        assert all(r.instances > 0 for r in reports.values())
+
+    def test_non_vacuity(self, groups):
+        # The universes must actually exercise the preconditions.
+        reports = check_all_rules(groups, indices=(2, 4), values=(0, 5))
+        for name in ("rule1", "rule2", "rule4", "rule5", "rule6"):
+            assert reports[name].checked > 0, f"{name} is vacuous"

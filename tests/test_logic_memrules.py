@@ -1,0 +1,156 @@
+"""Tests for the read/write/update proof rules (paper §5.2 prior work)."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit
+from repro.lang.program import Program, Thread
+from repro.logic.memrules import (
+    check_fai_self,
+    check_mp_read,
+    check_possible_read,
+    check_read_self,
+    check_read_stable,
+    check_write_self,
+    check_write_stable,
+)
+from repro.logic.triples import collect_universe
+from tests.conftest import mp_ra, mp_relaxed
+
+
+@pytest.fixture(scope="module")
+def groups():
+    # Universes from both MP variants plus a write-racing program.
+    t1 = A.seq(A.Write("d", Lit(5)), A.Write("f", Lit(1)))
+    t2 = A.seq(A.Write("d", Lit(3)), A.Read("r", "f"))
+    racy = Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"d": 0, "f": 0},
+    )
+    return collect_universe([mp_relaxed(), mp_ra(), racy])
+
+
+def all_valid(check, groups, *args_fn):
+    """Run a rule over every group; return aggregated validity."""
+    results = []
+    for program, universe in groups:
+        results.append(check(program, universe))
+    return results
+
+
+class TestSelfRules:
+    def test_write_self(self, groups):
+        for program, universe in groups:
+            for t in program.tids:
+                for old in (0, 5):
+                    for release in (False, True):
+                        result = check_write_self(
+                            program, universe, t, "d", old, 9, release=release
+                        )
+                        assert result.valid
+
+    def test_write_self_non_vacuous(self, groups):
+        program, universe = groups[0]
+        assert check_write_self(program, universe, "1", "d", 0, 9).checked > 0
+
+    def test_unsound_variant_caught(self, groups):
+        """{true} x := v {[x = v]_t} is falsified: stale-view writers can
+        place their write mid-modification-order."""
+        from repro.logic.memrules import check_write_self_unsound_variant
+
+        # The racy universe (two writers to d) exhibits stale views.
+        program, universe = groups[2]
+        result = check_write_self_unsound_variant(
+            program, universe, "2", "d", 9
+        )
+        assert not result.valid
+
+    def test_read_self(self, groups):
+        for program, universe in groups:
+            for t in program.tids:
+                for v in (0, 5):
+                    result = check_read_self(program, universe, t, "d", v)
+                    assert result.valid
+
+    def test_read_self_non_vacuous(self, groups):
+        program, universe = groups[0]
+        assert check_read_self(program, universe, "1", "d", 5).checked > 0
+
+    def test_fai_self(self, groups):
+        for program, universe in groups:
+            result = check_fai_self(program, universe, "1", "d", 0)
+            assert result.valid and result.checked > 0
+
+
+class TestMpRead:
+    def test_valid_everywhere(self, groups):
+        for program, universe in groups:
+            for t in program.tids:
+                result = check_mp_read(program, universe, t, "f", 1, "d", 5)
+                assert result.valid
+
+    def test_non_vacuous_on_ra_program(self, groups):
+        # On the RA message-passing program, the conditional pre is
+        # genuinely satisfied in reachable states.
+        program, universe = groups[1]
+        result = check_mp_read(program, universe, "2", "f", 1, "d", 5)
+        assert result.checked > 0 and result.applied > 0
+
+    def test_rule_fails_for_relaxed_read(self, groups):
+        """Control: replacing the acquiring read with a relaxed one
+        breaks the rule — synchronisation is what makes it sound."""
+        from repro.assertions.observability import ConditionalValue, DefiniteValue
+        from repro.lang import ast as AA
+        from repro.logic.memrules import RREG, _local_eq
+        from repro.logic.triples import check_atomic_triple
+
+        program, universe = groups[1]
+        pre = ConditionalValue("f", 1, "d", 5, "2")
+        post = _local_eq("2", 1) >> DefiniteValue("d", 5, "2")
+        result = check_atomic_triple(
+            program, universe, pre, AA.Read(RREG, "f", acquire=False), "2", post
+        )
+        assert not result.valid
+
+
+class TestStability:
+    def test_write_stable_other_variable(self, groups):
+        for program, universe in groups:
+            result = check_write_stable(
+                program, universe, "1", "2", "d", 0, "f", 7
+            )
+            assert result.valid and result.checked > 0
+
+    def test_read_stable(self, groups):
+        for program, universe in groups:
+            for read_var in ("d", "f"):
+                result = check_read_stable(
+                    program, universe, "1", "2", "d", 0, read_var
+                )
+                assert result.valid
+
+    def test_write_same_variable_not_stable(self, groups):
+        """Control: a write to the *same* variable by another thread
+        does invalidate a definite observation."""
+        program, universe = groups[0]
+        from repro.assertions.observability import DefiniteValue
+        from repro.logic.triples import check_atomic_triple
+
+        stable = DefiniteValue("d", 0, "1")
+        result = check_atomic_triple(
+            program, universe, stable, A.Write("d", Lit(9)), "2", stable
+        )
+        assert not result.valid
+
+
+class TestPossibleRead:
+    def test_possible_observations_realisable(self, groups):
+        for program, universe in groups:
+            for v in (0, 5):
+                report = check_possible_read(program, universe, "2", "d", v)
+                assert report["ok"]
+
+    def test_non_vacuous(self, groups):
+        program, universe = groups[0]
+        report = check_possible_read(program, universe, "2", "d", 5)
+        assert report["checked"] > 0

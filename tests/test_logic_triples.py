@@ -1,0 +1,136 @@
+"""Tests for Hoare triples by enumeration (Definition 2)."""
+
+import pytest
+
+from repro.assertions.core import TRUE, FALSE, LocalEq, Pred
+from repro.assertions.observability import DefiniteValue
+from repro.lang import ast as A
+from repro.lang.expr import Lit
+from repro.lang.program import Program, Thread
+from repro.logic.triples import (
+    check_atomic_triple,
+    check_program_triple,
+    collect_universe,
+)
+from tests.conftest import abstract_lock_client, mp_ra, mp_relaxed
+
+
+class TestProgramTriples:
+    def test_valid_postcondition(self):
+        p = mp_ra()
+        post = (
+            (LocalEq("2", "r1", 1) >> LocalEq("2", "r2", 5))
+        )
+        assert check_program_triple(p, TRUE, post)
+
+    def test_invalid_postcondition_reports_counterexample(self):
+        p = mp_relaxed()
+        post = LocalEq("2", "r1", 1) >> LocalEq("2", "r2", 5)
+        result = check_program_triple(p, TRUE, post)
+        assert not result
+        assert result.failures
+        cfg, _ = result.failures[0]
+        assert cfg.local("2", "r1") == 1 and cfg.local("2", "r2") == 0
+
+    def test_failed_precondition(self):
+        p = mp_relaxed()
+        result = check_program_triple(p, FALSE, TRUE)
+        assert not result.valid
+
+    def test_truncation_rejects(self):
+        p = mp_relaxed()
+        result = check_program_triple(p, TRUE, TRUE, max_states=2)
+        assert not result.valid
+
+
+class TestAtomicTriples:
+    def test_write_establishes_definite_value(self):
+        p = Program(
+            threads={"1": Thread(A.skip())},
+            client_vars={"x": 0},
+        )
+        from repro.semantics.config import initial_config
+
+        universe = [initial_config(p)]
+        result = check_atomic_triple(
+            p,
+            universe,
+            TRUE,
+            A.Write("x", Lit(5)),
+            "1",
+            DefiniteValue("x", 5, "1"),
+        )
+        assert result.valid
+        assert result.checked == 1 and result.applied == 1
+
+    def test_invalid_atomic_triple(self):
+        p = Program(threads={"1": Thread(A.skip())}, client_vars={"x": 0})
+        from repro.semantics.config import initial_config
+
+        result = check_atomic_triple(
+            p,
+            [initial_config(p)],
+            TRUE,
+            A.Write("x", Lit(5)),
+            "1",
+            DefiniteValue("x", 0, "1"),
+        )
+        assert not result.valid
+        assert result.failures
+
+    def test_vacuous_when_pre_unsatisfied(self):
+        p = Program(threads={"1": Thread(A.skip())}, client_vars={"x": 0})
+        from repro.semantics.config import initial_config
+
+        result = check_atomic_triple(
+            p,
+            [initial_config(p)],
+            FALSE,
+            A.Write("x", Lit(5)),
+            "1",
+            FALSE,
+        )
+        assert result.valid
+        assert result.checked == 0
+
+    def test_disabled_command_vacuous(self):
+        # Acquiring a held lock offers no transitions: post unconstrained.
+        from repro.semantics.explore import reachable
+
+        p = abstract_lock_client()
+        held = reachable(
+            p,
+            lambda c: any(
+                op.act.method == "acquire" for op in c.beta.ops_on("l")
+            )
+            and c.beta.last_op("l").act.method == "acquire"
+            and c.beta.last_op("l").act.tid == "1",
+        )
+        result = check_atomic_triple(
+            p,
+            [held],
+            TRUE,
+            A.MethodCall("l", "acquire"),
+            "2",
+            FALSE,  # would fail if any step existed
+        )
+        assert result.valid
+        assert result.applied == 0
+
+
+class TestCollectUniverse:
+    def test_groups_per_program(self):
+        p1, p2 = mp_relaxed(), mp_ra()
+        groups = collect_universe([p1, p2])
+        assert len(groups) == 2
+        assert groups[0][0] is p1
+        assert len(groups[0][1]) > 0
+
+    def test_universe_contains_initial(self):
+        from repro.semantics.canon import canonical_key
+        from repro.semantics.config import initial_config
+
+        p = mp_relaxed()
+        ((_, universe),) = collect_universe([p])
+        keys = {canonical_key(p, cfg) for cfg in universe}
+        assert canonical_key(p, initial_config(p)) in keys

@@ -1,0 +1,106 @@
+"""Tests for action constructors and classification."""
+
+import pytest
+
+from repro.memory.actions import (
+    Action,
+    is_acquiring,
+    is_method,
+    is_modifying,
+    is_releasing,
+    is_update,
+    is_write,
+    mk_method,
+    mk_read,
+    mk_update,
+    mk_write,
+    rdval,
+    wrval,
+)
+
+
+class TestConstructors:
+    def test_relaxed_read(self):
+        a = mk_read("x", 1, "t1")
+        assert a.kind == "rd" and a.var == "x" and a.val == 1
+
+    def test_acquiring_read(self):
+        assert mk_read("x", 1, "t1", acquire=True).kind == "rdA"
+
+    def test_relaxed_write(self):
+        assert mk_write("x", 1, "t1").kind == "wr"
+
+    def test_releasing_write(self):
+        assert mk_write("x", 1, "t1", release=True).kind == "wrR"
+
+    def test_update(self):
+        a = mk_update("x", 0, 1, "t1")
+        assert a.kind == "updRA" and a.rdval == 0 and a.val == 1
+
+    def test_method(self):
+        a = mk_method("l", "acquire", tid="t1", index=3, sync=False)
+        assert a.kind == "meth" and a.var == "l" and a.index == 3
+
+
+class TestClassification:
+    def test_is_write(self):
+        assert is_write(mk_write("x", 1, "t"))
+        assert is_write(mk_write("x", 1, "t", release=True))
+        assert is_write(mk_update("x", 0, 1, "t"))
+        assert not is_write(mk_read("x", 1, "t"))
+        assert not is_write(mk_method("l", "release", index=2))
+
+    def test_is_modifying(self):
+        assert is_modifying(mk_method("l", "acquire", index=1))
+        assert is_modifying(mk_write("x", 1, "t"))
+        assert not is_modifying(mk_read("x", 1, "t"))
+
+    def test_is_releasing_wr(self):
+        # WR = releasing writes: wrR, updRA, synchronising method ops.
+        assert is_releasing(mk_write("x", 1, "t", release=True))
+        assert is_releasing(mk_update("x", 0, 1, "t"))
+        assert not is_releasing(mk_write("x", 1, "t"))
+        assert is_releasing(mk_method("l", "release", index=2, sync=True))
+        assert not is_releasing(mk_method("l", "acquire", index=1, sync=False))
+
+    def test_is_acquiring_ra(self):
+        # RA = acquiring reads: rdA, updRA.
+        assert is_acquiring(mk_read("x", 1, "t", acquire=True))
+        assert is_acquiring(mk_update("x", 0, 1, "t"))
+        assert not is_acquiring(mk_read("x", 1, "t"))
+
+    def test_is_update_and_method(self):
+        assert is_update(mk_update("x", 0, 1, "t"))
+        assert not is_update(mk_write("x", 1, "t"))
+        assert is_method(mk_method("l", "init", index=0))
+
+
+class TestValues:
+    def test_wrval_of_writes(self):
+        assert wrval(mk_write("x", 7, "t")) == 7
+        assert wrval(mk_update("x", 1, 2, "t")) == 2
+        assert wrval(mk_method("s", "push", val=9, index=1)) == 9
+
+    def test_wrval_of_read_raises(self):
+        with pytest.raises(ValueError):
+            wrval(mk_read("x", 1, "t"))
+
+    def test_rdval(self):
+        assert rdval(mk_read("x", 3, "t")) == 3
+        assert rdval(mk_update("x", 4, 5, "t")) == 4
+        with pytest.raises(ValueError):
+            rdval(mk_write("x", 1, "t"))
+
+
+class TestIdentity:
+    def test_equality_structural(self):
+        assert mk_write("x", 1, "t") == mk_write("x", 1, "t")
+        assert mk_write("x", 1, "t") != mk_write("x", 1, "u")
+
+    def test_hashable(self):
+        assert hash(mk_read("x", 1, "t")) == hash(mk_read("x", 1, "t"))
+
+    def test_repr_readable(self):
+        assert "acquire" in repr(mk_method("l", "acquire", tid="t", index=1))
+        assert "x" in repr(mk_write("x", 1, "t"))
+        assert "->" in repr(mk_update("x", 0, 1, "t"))

@@ -1,0 +1,82 @@
+"""Tests for Γ_Init construction (paper §3.3 Initialisation)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.program import Program, Thread
+from repro.memory.initial import initial_states
+from repro.objects.lock import AbstractLock
+from repro.objects.stack import AbstractStack
+
+
+@pytest.fixture()
+def program():
+    return Program(
+        threads={"1": A.skip(), "2": A.skip()},
+        client_vars={"x": 1, "y": 2},
+        lib_vars={"glb": 0},
+        objects=(AbstractLock("l"),),
+    )
+
+
+class TestInitialStates:
+    def test_one_op_per_variable_at_ts_zero(self, program):
+        gamma, beta = initial_states(program)
+        assert {op.act.var for op in gamma.ops} == {"x", "y"}
+        assert {op.act.var for op in beta.ops} == {"glb", "l"}
+        for op in gamma.ops | beta.ops:
+            assert op.ts == Fraction(0)
+
+    def test_initial_values_recorded(self, program):
+        gamma, _ = initial_states(program)
+        vals = {op.act.var: op.act.val for op in gamma.ops if op.act.kind == "wr"}
+        assert vals == {"x": 1, "y": 2}
+
+    def test_every_thread_views_every_variable(self, program):
+        gamma, beta = initial_states(program)
+        for t in ("1", "2"):
+            for x in ("x", "y"):
+                assert gamma.thread_view(t, x) is not None
+            for y in ("glb", "l"):
+                assert beta.thread_view(t, y) is not None
+
+    def test_mview_spans_both_components(self, program):
+        # γInit.mview_xi = βInit.mview_yi = γInit.tview ∪ βInit.tview.
+        gamma, beta = initial_states(program)
+        for state in (gamma, beta):
+            for op, view in state.mview.items():
+                assert set(view) == {"x", "y", "glb", "l"}
+
+    def test_nothing_covered(self, program):
+        gamma, beta = initial_states(program)
+        assert gamma.cvd == frozenset() and beta.cvd == frozenset()
+
+    def test_object_init_ops_included(self, program):
+        _, beta = initial_states(program)
+        (lock_op,) = beta.ops_on("l")
+        assert lock_op.act.method == "init" and lock_op.act.index == 0
+
+    def test_multiple_objects(self):
+        p = Program(
+            threads={"1": A.skip()},
+            objects=(AbstractLock("l"), AbstractStack("s")),
+        )
+        _, beta = initial_states(p)
+        assert {op.act.var for op in beta.ops} == {"l", "s"}
+
+    def test_empty_components(self):
+        p = Program(threads={"1": A.skip()})
+        gamma, beta = initial_states(p)
+        assert gamma.ops == frozenset() and beta.ops == frozenset()
+
+    def test_initial_locals_via_config(self):
+        from repro.semantics.config import initial_config
+
+        p = Program(
+            threads={"1": A.skip()},
+            init_locals={"1": {"r": 7}},
+        )
+        cfg = initial_config(p)
+        assert cfg.local("1", "r") == 7

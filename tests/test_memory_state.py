@@ -1,0 +1,140 @@
+"""Tests for the component state: observability, updates, invariants."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang.program import Program
+from repro.memory.actions import Op, mk_write
+from repro.memory.initial import initial_states
+from repro.memory.state import ComponentState
+from repro.memory.views import view_union
+from repro.util.fmap import FMap
+from tests.conftest import mp_relaxed
+
+
+@pytest.fixture()
+def init_pair():
+    return initial_states(mp_relaxed())
+
+
+class TestInitialObservability:
+    def test_every_thread_sees_init(self, init_pair):
+        gamma, _beta = init_pair
+        for t in ("1", "2"):
+            for x in ("d", "f"):
+                obs = gamma.obs(t, x)
+                assert len(obs) == 1
+                assert obs[0].ts == Fraction(0)
+
+    def test_unknown_variable_unobservable(self, init_pair):
+        gamma, _ = init_pair
+        assert gamma.obs("1", "nope") == ()
+
+    def test_nothing_covered(self, init_pair):
+        gamma, _ = init_pair
+        assert gamma.cvd == frozenset()
+        assert gamma.observable_uncovered("1", "d") == gamma.obs("1", "d")
+
+
+class TestAddOp:
+    def test_add_op_updates_everything(self, init_pair):
+        gamma, _ = init_pair
+        old = gamma.last_op("d")
+        new = Op(mk_write("d", 5, "1"), Fraction(1))
+        tview = gamma.thread_view_map("1").set("d", new)
+        mview = tview
+        gamma2 = gamma.add_op(new, mview, "1", tview)
+        assert new in gamma2.ops
+        assert gamma2.thread_view("1", "d") == new
+        assert gamma2.mview[new] == mview
+        # Thread 2's view untouched.
+        assert gamma2.thread_view("2", "d") == old
+        # Original state unchanged (immutability).
+        assert new not in gamma.ops
+
+    def test_add_op_with_cover(self, init_pair):
+        gamma, _ = init_pair
+        old = gamma.last_op("d")
+        new = Op(mk_write("d", 5, "1"), Fraction(1))
+        tview = gamma.thread_view_map("1").set("d", new)
+        gamma2 = gamma.add_op(new, tview, "1", tview, cover=old)
+        assert old in gamma2.cvd
+        assert old not in gamma2.observable_uncovered("2", "d")
+        # Covered op is still *observable* (readable), just not writable-after.
+        assert old in gamma2.obs("2", "d")
+
+
+class TestObsFiltering:
+    def test_obs_excludes_before_viewfront(self, init_pair):
+        gamma, _ = init_pair
+        w1 = Op(mk_write("d", 1, "1"), Fraction(1))
+        w2 = Op(mk_write("d", 2, "1"), Fraction(2))
+        tview1 = gamma.thread_view_map("1").set("d", w1)
+        gamma = gamma.add_op(w1, tview1, "1", tview1)
+        tview2 = gamma.thread_view_map("1").set("d", w2)
+        gamma = gamma.add_op(w2, tview2, "1", tview2)
+        # Thread 1's viewfront is w2: only w2 observable.
+        assert gamma.obs("1", "d") == (w2,)
+        # Thread 2 still at the initial write: sees all three.
+        assert len(gamma.obs("2", "d")) == 3
+
+    def test_obs_sorted_by_timestamp(self, init_pair):
+        gamma, _ = init_pair
+        w1 = Op(mk_write("d", 1, "1"), Fraction(2))
+        w2 = Op(mk_write("d", 2, "1"), Fraction(1))
+        tv = gamma.thread_view_map("1")
+        gamma = gamma.add_op(w1, tv, "1", tv)
+        gamma = gamma.add_op(w2, tv, "1", tv)
+        obs = gamma.obs("2", "d")
+        assert [o.ts for o in obs] == sorted(o.ts for o in obs)
+
+
+class TestQueries:
+    def test_ops_on(self, init_pair):
+        gamma, _ = init_pair
+        assert len(gamma.ops_on("d")) == 1
+        assert gamma.ops_on("nope") == ()
+
+    def test_max_ts_and_last_op(self, init_pair):
+        gamma, _ = init_pair
+        w = Op(mk_write("d", 5, "1"), Fraction(3))
+        tv = gamma.thread_view_map("1").set("d", w)
+        gamma2 = gamma.add_op(w, tv, "1", tv)
+        assert gamma2.max_ts("d") == Fraction(3)
+        assert gamma2.last_op("d") == w
+
+    def test_timestamps(self, init_pair):
+        gamma, _ = init_pair
+        assert set(gamma.timestamps()) == {Fraction(0)}
+
+
+class TestInvariants:
+    def test_initial_states_coherent(self, init_pair):
+        gamma, beta = init_pair
+        gamma.check_invariants(("1", "2"))
+        beta.check_invariants(("1", "2"))
+
+    def test_detects_dangling_tview(self, init_pair):
+        gamma, _ = init_pair
+        bogus = Op(mk_write("d", 9, "1"), Fraction(9))
+        broken = ComponentState(
+            ops=gamma.ops,
+            tview=gamma.tview.set(("1", "d"), bogus),
+            mview=gamma.mview,
+            cvd=gamma.cvd,
+        )
+        with pytest.raises(AssertionError):
+            broken.check_invariants(("1", "2"))
+
+    def test_detects_duplicate_timestamp(self, init_pair):
+        gamma, _ = init_pair
+        dup = Op(mk_write("d", 9, "2"), Fraction(0))  # clashes with init at 0
+        broken = ComponentState(
+            ops=gamma.ops | {dup},
+            tview=gamma.tview,
+            mview=gamma.mview.set(dup, gamma.thread_view_map("1")),
+            cvd=gamma.cvd,
+        )
+        with pytest.raises(AssertionError):
+            broken.check_invariants(("1", "2"))

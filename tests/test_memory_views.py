@@ -1,0 +1,141 @@
+"""Unit and property tests for views and the merge operator ⊗."""
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.actions import Op, mk_write
+from repro.memory.views import last_op, max_ts, merge_views, view_union
+from repro.util.fmap import FMap
+
+
+def op(var: str, val: int, ts) -> Op:
+    return Op(mk_write(var, val, "t"), Fraction(ts))
+
+
+def view(**entries) -> FMap:
+    return FMap(entries)
+
+
+class TestMergeViews:
+    def test_takes_later_per_variable(self):
+        v1 = view(x=op("x", 0, 0), y=op("y", 5, 3))
+        v2 = view(x=op("x", 1, 2), y=op("y", 4, 1))
+        merged = merge_views(v1, v2)
+        assert merged["x"] == op("x", 1, 2)  # v2 later
+        assert merged["y"] == op("y", 5, 3)  # v1 later
+
+    def test_domain_is_v1(self):
+        # ⊗ is λx ∈ dom(V1): variables only in V2 are dropped.
+        v1 = view(x=op("x", 0, 0))
+        v2 = view(x=op("x", 1, 1), z=op("z", 9, 9))
+        merged = merge_views(v1, v2)
+        assert set(merged) == {"x"}
+
+    def test_tie_prefers_v1(self):
+        # Equal timestamps on the same variable denote the same op.
+        shared = op("x", 1, 1)
+        assert merge_views(view(x=shared), view(x=shared))["x"] == shared
+
+    def test_identity_when_v2_older(self):
+        v1 = view(x=op("x", 1, 5))
+        assert merge_views(v1, view(x=op("x", 0, 0))) is v1
+
+
+# Strategy: views over a fixed variable set with integer timestamps.
+VARS = ("x", "y", "z")
+
+
+@st.composite
+def views(draw):
+    entries = {}
+    for var in VARS:
+        if draw(st.booleans()):
+            ts = draw(st.integers(min_value=0, max_value=20))
+            entries[var] = op(var, ts, ts)  # value mirrors ts; irrelevant
+    return FMap(entries)
+
+
+@st.composite
+def full_views(draw):
+    """Views over the full variable set — the shape thread views have in
+    the semantics (every component variable is always mapped)."""
+    entries = {}
+    for var in VARS:
+        ts = draw(st.integers(min_value=0, max_value=20))
+        entries[var] = op(var, ts, ts)
+    return FMap(entries)
+
+
+class TestMergeProperties:
+    @given(v=views())
+    def test_idempotent(self, v):
+        assert merge_views(v, v) == v
+
+    @given(v1=views(), v2=views())
+    def test_upper_bound_of_v1(self, v1, v2):
+        merged = merge_views(v1, v2)
+        for var in v1:
+            assert merged[var].ts >= v1[var].ts
+
+    @given(v1=views(), v2=views())
+    def test_pointwise_max_on_common_domain(self, v1, v2):
+        merged = merge_views(v1, v2)
+        for var in v1:
+            if var in v2:
+                assert merged[var].ts == max(v1[var].ts, v2[var].ts)
+
+    @given(v1=full_views(), v2=full_views(), v3=full_views())
+    def test_associative_on_full_domain(self, v1, v2, v3):
+        # ⊗ on equal domains (the shape thread views always have) is the
+        # pointwise-lattice join, hence associative.
+        left = merge_views(merge_views(v1, v2), v3)
+        right = merge_views(v1, merge_views(v2, v3))
+        assert left == right
+
+    @given(v1=full_views(), v2=full_views())
+    def test_commutative_on_full_domain(self, v1, v2):
+        assert merge_views(v1, v2) == merge_views(v2, v1)
+
+    def test_not_associative_across_domains(self):
+        # Documented counterexample: ⊗ restricts to dom(V1), so mixing
+        # domains breaks associativity — the semantics never does this.
+        v1 = view(z=op("z", 0, 0))
+        v2 = FMap({})
+        v3 = view(z=op("z", 1, 1))
+        left = merge_views(merge_views(v1, v2), v3)
+        right = merge_views(v1, merge_views(v2, v3))
+        assert left != right
+
+
+class TestViewUnion:
+    def test_disjoint_domains(self):
+        u = view_union(view(x=op("x", 1, 1)), view(y=op("y", 2, 2)))
+        assert set(u) == {"x", "y"}
+
+    def test_overlap_takes_later(self):
+        u = view_union(view(x=op("x", 0, 0)), view(x=op("x", 1, 3)))
+        assert u["x"].ts == Fraction(3)
+
+
+class TestMaxTsLastOp:
+    def test_max_ts(self):
+        ops = [op("x", 0, 0), op("x", 1, 4), op("y", 9, 9)]
+        assert max_ts("x", ops) == Fraction(4)
+        assert max_ts("z", ops) is None
+
+    def test_last_op(self):
+        ops = [op("x", 0, 0), op("x", 1, 4)]
+        assert last_op("x", ops) == op("x", 1, 4)
+        assert last_op("z", ops) is None
+
+    def test_last_op_with_filter(self):
+        from repro.memory.actions import mk_method
+
+        meth = Op(mk_method("x", "init", index=0), Fraction(9))
+        ops = [op("x", 1, 4), meth]
+        from repro.memory.actions import is_write
+
+        assert last_op("x", ops, only=is_write) == op("x", 1, 4)
+        assert last_op("x", ops) == meth

@@ -1,0 +1,139 @@
+"""Tests for the abstract lock (Figure 6 / Example 1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang.program import Program
+from repro.lang import ast as A
+from repro.memory.initial import initial_states
+from repro.objects.lock import AbstractLock
+
+
+@pytest.fixture()
+def setup():
+    lock = AbstractLock("l")
+    program = Program(
+        threads={"1": A.skip(), "2": A.skip()},
+        client_vars={"x": 0},
+        objects=(lock,),
+    )
+    gamma, beta = initial_states(program)
+    return lock, gamma, beta
+
+
+def the(steps):
+    out = list(steps)
+    assert len(out) == 1
+    return out[0]
+
+
+class TestInit:
+    def test_init_op(self, setup):
+        lock, _gamma, beta = setup
+        ops = beta.ops_on("l")
+        assert len(ops) == 1
+        assert ops[0].act.method == "init"
+        assert ops[0].act.index == 0
+        assert ops[0].ts == Fraction(0)
+
+    def test_initially_free(self, setup):
+        lock, _gamma, beta = setup
+        assert lock.is_free(beta)
+        assert lock.holder(beta) is None
+
+
+class TestAcquire:
+    def test_first_acquire_gets_version_1(self, setup):
+        lock, gamma, beta = setup
+        step = the(lock.method_steps(beta, gamma, "1", "acquire"))
+        assert step.retval == 1
+        assert step.action.method == "acquire"
+        assert step.action.index == 1
+        assert step.action.tid == "1"
+
+    def test_acquire_covers_predecessor(self, setup):
+        lock, gamma, beta = setup
+        init_op = beta.last_op("l")
+        step = the(lock.method_steps(beta, gamma, "1", "acquire"))
+        assert init_op in step.lib.cvd
+
+    def test_acquire_takes_maximal_timestamp(self, setup):
+        lock, gamma, beta = setup
+        step = the(lock.method_steps(beta, gamma, "1", "acquire"))
+        assert step.lib.last_op("l").act.method == "acquire"
+
+    def test_held_lock_disables_acquire(self, setup):
+        lock, gamma, beta = setup
+        step = the(lock.method_steps(beta, gamma, "1", "acquire"))
+        assert lock.holder(step.lib) == "1"
+        assert list(lock.method_steps(step.lib, step.cli, "2", "acquire")) == []
+
+    def test_acquire_after_release_gets_version_3(self, setup):
+        lock, gamma, beta = setup
+        s1 = the(lock.method_steps(beta, gamma, "1", "acquire"))
+        s2 = the(lock.method_steps(s1.lib, s1.cli, "1", "release"))
+        s3 = the(lock.method_steps(s2.lib, s2.cli, "2", "acquire"))
+        assert s3.retval == 3
+
+
+class TestRelease:
+    def test_release_requires_holding(self, setup):
+        lock, gamma, beta = setup
+        # Lock free: release disabled.
+        assert list(lock.method_steps(beta, gamma, "1", "release")) == []
+        # Held by 1: release by 2 disabled.
+        s1 = the(lock.method_steps(beta, gamma, "1", "acquire"))
+        assert list(lock.method_steps(s1.lib, s1.cli, "2", "release")) == []
+
+    def test_release_index_follows_acquire(self, setup):
+        lock, gamma, beta = setup
+        s1 = the(lock.method_steps(beta, gamma, "1", "acquire"))
+        s2 = the(lock.method_steps(s1.lib, s1.cli, "1", "release"))
+        assert s2.action.method == "release"
+        assert s2.action.index == 2
+        assert s2.action.sync  # releases are synchronising
+
+    def test_release_frees(self, setup):
+        lock, gamma, beta = setup
+        s1 = the(lock.method_steps(beta, gamma, "1", "acquire"))
+        s2 = the(lock.method_steps(s1.lib, s1.cli, "1", "release"))
+        assert lock.is_free(s2.lib)
+
+    def test_release_does_not_cover(self, setup):
+        lock, gamma, beta = setup
+        s1 = the(lock.method_steps(beta, gamma, "1", "acquire"))
+        acq_op = s1.lib.last_op("l")
+        s2 = the(lock.method_steps(s1.lib, s1.cli, "1", "release"))
+        assert acq_op not in s2.lib.cvd
+
+
+class TestSynchronisation:
+    def test_acquire_transfers_releasers_client_view(self, setup):
+        """The core publication property: acquiring after a release makes
+        the releaser's client writes definitely visible."""
+        from repro.memory.transitions import write_steps
+
+        lock, gamma, beta = setup
+        # Thread 1: acquire; x := 5 (relaxed client write); release.
+        s1 = the(lock.method_steps(beta, gamma, "1", "acquire"))
+        _a, _w, gamma2, beta2 = the(
+            write_steps(s1.cli, s1.lib, "1", "x", 5, release=False)
+        )
+        xnew = gamma2.thread_view("1", "x")
+        s2 = the(lock.method_steps(beta2, gamma2, "1", "release"))
+        # Thread 2 acquires: its *client* view of x must advance.
+        s3 = the(lock.method_steps(s2.lib, s2.cli, "2", "acquire"))
+        assert s3.cli.thread_view("2", "x") == xnew
+
+    def test_mview_of_release_spans_client_vars(self, setup):
+        lock, gamma, beta = setup
+        s1 = the(lock.method_steps(beta, gamma, "1", "acquire"))
+        s2 = the(lock.method_steps(s1.lib, s1.cli, "1", "release"))
+        rel_op = s2.lib.last_op("l")
+        assert "x" in s2.lib.mview[rel_op]
+
+    def test_unknown_method_raises(self, setup):
+        lock, gamma, beta = setup
+        with pytest.raises(ValueError):
+            list(lock.method_steps(beta, gamma, "1", "steal"))

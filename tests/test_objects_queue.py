@@ -1,0 +1,137 @@
+"""Tests for the abstract FIFO queue (extension object)."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.expr import EMPTY, Lit, Reg
+from repro.lang.program import Program, Thread
+from repro.memory.initial import initial_states
+from repro.objects.queue import AbstractQueue
+from repro.semantics.explore import explore
+
+
+@pytest.fixture()
+def setup():
+    queue = AbstractQueue("q")
+    program = Program(
+        threads={"1": A.skip(), "2": A.skip()},
+        client_vars={"d": 0},
+        objects=(queue,),
+    )
+    gamma, beta = initial_states(program)
+    return queue, gamma, beta
+
+
+def the(steps):
+    out = list(steps)
+    assert len(out) == 1
+    return out[0]
+
+
+class TestFifoOrder:
+    def test_initially_empty(self, setup):
+        queue, _g, beta = setup
+        assert queue.content(beta) == ()
+        assert queue.front(beta) is None
+
+    def test_fifo_removal(self, setup):
+        queue, gamma, beta = setup
+        s = the(queue.method_steps(beta, gamma, "1", "enq", 1))
+        s = the(queue.method_steps(s.lib, s.cli, "1", "enq", 2))
+        assert [v for v, _ in queue.content(s.lib)] == [1, 2]
+        d = the(queue.method_steps(s.lib, s.cli, "2", "deq"))
+        assert d.retval == 1  # FIFO: oldest first (stack would give 2)
+        d2 = the(queue.method_steps(d.lib, d.cli, "2", "deq"))
+        assert d2.retval == 2
+
+    def test_empty_deq_is_pure(self, setup):
+        queue, gamma, beta = setup
+        d = the(queue.method_steps(beta, gamma, "1", "deq"))
+        assert d.retval == EMPTY
+        assert d.lib is beta and d.cli is gamma
+
+    def test_enq_requires_argument(self, setup):
+        queue, gamma, beta = setup
+        with pytest.raises(ValueError):
+            list(queue.method_steps(beta, gamma, "1", "enq"))
+
+    def test_unknown_method(self, setup):
+        queue, gamma, beta = setup
+        with pytest.raises(ValueError):
+            list(queue.method_steps(beta, gamma, "1", "peek"))
+
+
+class TestSynchronisation:
+    def _publish(self, setup, enq_method, deq_method):
+        from repro.memory.transitions import write_steps
+
+        queue, gamma, beta = setup
+        _a, _w, gamma1, _ = the(
+            write_steps(gamma, beta, "1", "d", 5, release=False)
+        )
+        dnew = gamma1.thread_view("1", "d")
+        s = the(queue.method_steps(beta, gamma1, "1", enq_method, 1))
+        d = the(queue.method_steps(s.lib, s.cli, "2", deq_method))
+        assert d.retval == 1
+        return dnew, d
+
+    def test_release_acquire_pair_transfers_view(self, setup):
+        dnew, d = self._publish(setup, "enqR", "deqA")
+        assert d.cli.thread_view("2", "d") == dnew
+
+    def test_relaxed_enq_does_not_transfer(self, setup):
+        dnew, d = self._publish(setup, "enq", "deqA")
+        assert d.cli.thread_view("2", "d") != dnew
+
+    def test_relaxed_deq_does_not_transfer(self, setup):
+        dnew, d = self._publish(setup, "enqR", "deq")
+        assert d.cli.thread_view("2", "d") != dnew
+
+
+class TestWorkQueueClient:
+    """End-to-end: message passing over a work queue."""
+
+    def _program(self, sync: bool) -> Program:
+        enq = "enqR" if sync else "enq"
+        deq = "deqA" if sync else "deq"
+        producer = A.seq(
+            A.Write("d", Lit(5)),
+            A.MethodCall("q", enq, arg=Lit(1)),
+        )
+        consumer = A.seq(
+            A.do_until(A.MethodCall("q", deq, dest="r1"), Reg("r1").eq(1)),
+            A.Read("r2", "d"),
+        )
+        return Program(
+            threads={"1": Thread(producer), "2": Thread(consumer)},
+            client_vars={"d": 0},
+            objects=(AbstractQueue("q"),),
+        )
+
+    def test_synchronising_queue_publishes(self):
+        outcomes = explore(self._program(True)).terminal_locals(("2", "r2"))
+        assert outcomes == {(5,)}
+
+    def test_relaxed_queue_leaks_stale_reads(self):
+        outcomes = explore(self._program(False)).terminal_locals(("2", "r2"))
+        assert outcomes == {(0,), (5,)}
+
+    def test_two_consumers_disjoint_items(self):
+        """Each enqueued item is dequeued at most once."""
+        producer = A.seq(
+            A.MethodCall("q", "enqR", arg=Lit(1)),
+            A.MethodCall("q", "enqR", arg=Lit(2)),
+        )
+        c1 = A.MethodCall("q", "deqA", dest="a")
+        c2 = A.MethodCall("q", "deqA", dest="b")
+        p = Program(
+            threads={"1": Thread(producer), "2": Thread(c1), "3": Thread(c2)},
+            objects=(AbstractQueue("q"),),
+        )
+        outcomes = explore(p).terminal_locals(("2", "a"), ("3", "b"))
+        for a, b in outcomes:
+            if a != EMPTY and b != EMPTY:
+                assert a != b
+        # FIFO: 2 is only dequeued after 1.
+        assert (2, 2) not in outcomes
+        assert any(a == 1 or b == 1 for a, b in outcomes)

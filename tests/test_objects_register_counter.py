@@ -1,0 +1,140 @@
+"""Tests for the extension objects: weak register and atomic counter."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.program import Program
+from repro.memory.initial import initial_states
+from repro.objects.counter import AbstractCounter
+from repro.objects.register import AbstractRegister
+
+
+def the(steps):
+    out = list(steps)
+    assert len(out) == 1
+    return out[0]
+
+
+@pytest.fixture()
+def reg_setup():
+    register = AbstractRegister("r", initial=0)
+    program = Program(
+        threads={"1": A.skip(), "2": A.skip()},
+        client_vars={"d": 0},
+        objects=(register,),
+    )
+    gamma, beta = initial_states(program)
+    return register, gamma, beta
+
+
+@pytest.fixture()
+def ctr_setup():
+    counter = AbstractCounter("c", initial=0)
+    program = Program(
+        threads={"1": A.skip(), "2": A.skip()},
+        client_vars={"d": 0},
+        objects=(counter,),
+    )
+    gamma, beta = initial_states(program)
+    return counter, gamma, beta
+
+
+class TestRegister:
+    def test_initial_read(self, reg_setup):
+        register, gamma, beta = reg_setup
+        step = the(register.method_steps(beta, gamma, "1", "read"))
+        assert step.retval == 0
+
+    def test_weak_reads_see_stale_values(self, reg_setup):
+        register, gamma, beta = reg_setup
+        w = the(register.method_steps(beta, gamma, "1", "write", 5))
+        # Thread 2 has not advanced: it may read 0 *or* 5.
+        vals = {
+            s.retval
+            for s in register.method_steps(w.lib, w.cli, "2", "read")
+        }
+        assert vals == {0, 5}
+        # The writer itself can only read its own write.
+        vals1 = {
+            s.retval
+            for s in register.method_steps(w.lib, w.cli, "1", "read")
+        }
+        assert vals1 == {5}
+
+    def test_acquiring_read_of_releasing_write_syncs(self, reg_setup):
+        from repro.memory.transitions import write_steps
+
+        register, gamma, beta = reg_setup
+        _a, _w, gamma1, _ = the(
+            write_steps(gamma, beta, "1", "d", 5, release=False)
+        )
+        dnew = gamma1.thread_view("1", "d")
+        w = the(register.method_steps(beta, gamma1, "1", "writeR", 1))
+        for s in register.method_steps(w.lib, w.cli, "2", "readA"):
+            if s.retval == 1:
+                assert s.cli.thread_view("2", "d") == dnew
+
+    def test_reads_do_not_modify(self, reg_setup):
+        register, gamma, beta = reg_setup
+        step = the(register.method_steps(beta, gamma, "1", "read"))
+        assert step.lib.ops == beta.ops
+
+    def test_write_requires_argument(self, reg_setup):
+        register, gamma, beta = reg_setup
+        with pytest.raises(ValueError):
+            list(register.method_steps(beta, gamma, "1", "write"))
+
+    def test_unknown_method(self, reg_setup):
+        register, gamma, beta = reg_setup
+        with pytest.raises(ValueError):
+            list(register.method_steps(beta, gamma, "1", "cas"))
+
+
+class TestCounter:
+    def test_inc_returns_old_value(self, ctr_setup):
+        counter, gamma, beta = ctr_setup
+        s1 = the(counter.method_steps(beta, gamma, "1", "inc"))
+        assert s1.retval == 0
+        s2 = the(counter.method_steps(s1.lib, s1.cli, "2", "inc"))
+        assert s2.retval == 1
+        assert counter.value(s2.lib) == 2
+
+    def test_inc_covers_predecessor(self, ctr_setup):
+        counter, gamma, beta = ctr_setup
+        init_op = beta.last_op("c")
+        s1 = the(counter.method_steps(beta, gamma, "1", "inc"))
+        assert init_op in s1.lib.cvd
+
+    def test_incs_totally_ordered(self, ctr_setup):
+        counter, gamma, beta = ctr_setup
+        s = the(counter.method_steps(beta, gamma, "1", "inc"))
+        s = the(counter.method_steps(s.lib, s.cli, "2", "inc"))
+        s = the(counter.method_steps(s.lib, s.cli, "1", "inc"))
+        vals = [op.act.val for op in s.lib.ops_on("c") if op.act.method == "inc"]
+        assert vals == [1, 2, 3]
+
+    def test_inc_transfers_client_view(self, ctr_setup):
+        from repro.memory.transitions import write_steps
+
+        counter, gamma, beta = ctr_setup
+        _a, _w, gamma1, _ = the(
+            write_steps(gamma, beta, "1", "d", 5, release=False)
+        )
+        dnew = gamma1.thread_view("1", "d")
+        s1 = the(counter.method_steps(beta, gamma1, "1", "inc"))
+        # Thread 2's inc acquires thread 1's inc (sync): sees d = 5.
+        s2 = the(counter.method_steps(s1.lib, s1.cli, "2", "inc"))
+        assert s2.cli.thread_view("2", "d") == dnew
+
+    def test_weak_read(self, ctr_setup):
+        counter, gamma, beta = ctr_setup
+        s1 = the(counter.method_steps(beta, gamma, "1", "inc"))
+        vals = {
+            s.retval for s in counter.method_steps(s1.lib, s1.cli, "2", "read")
+        }
+        assert vals == {0, 1}
+
+    def test_unknown_method(self, ctr_setup):
+        counter, gamma, beta = ctr_setup
+        with pytest.raises(ValueError):
+            list(counter.method_steps(beta, gamma, "1", "dec"))

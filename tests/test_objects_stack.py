@@ -1,0 +1,122 @@
+"""Tests for the abstract stack (Figures 1–3)."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.expr import EMPTY
+from repro.lang.program import Program
+from repro.memory.initial import initial_states
+from repro.objects.stack import AbstractStack
+
+
+@pytest.fixture()
+def setup():
+    stack = AbstractStack("s")
+    program = Program(
+        threads={"1": A.skip(), "2": A.skip()},
+        client_vars={"d": 0},
+        objects=(stack,),
+    )
+    gamma, beta = initial_states(program)
+    return stack, gamma, beta
+
+
+def the(steps):
+    out = list(steps)
+    assert len(out) == 1
+    return out[0]
+
+
+class TestContent:
+    def test_initially_empty(self, setup):
+        stack, _g, beta = setup
+        assert stack.content(beta) == ()
+        assert stack.top(beta) is None
+
+    def test_push_pop_lifo(self, setup):
+        stack, gamma, beta = setup
+        s = the(stack.method_steps(beta, gamma, "1", "push", 1))
+        s = the(stack.method_steps(s.lib, s.cli, "1", "push", 2))
+        assert [v for v, _ in stack.content(s.lib)] == [1, 2]
+        assert stack.top(s.lib)[0] == 2
+        p = the(stack.method_steps(s.lib, s.cli, "2", "pop"))
+        assert p.retval == 2
+        p2 = the(stack.method_steps(p.lib, p.cli, "2", "pop"))
+        assert p2.retval == 1
+        assert stack.content(p2.lib) == ()
+
+
+class TestEmptyPop:
+    def test_returns_empty_without_state_change(self, setup):
+        stack, gamma, beta = setup
+        p = the(stack.method_steps(beta, gamma, "1", "pop"))
+        assert p.retval == EMPTY
+        assert p.lib is beta and p.cli is gamma
+        assert p.action is None
+
+    def test_acquiring_variant_same(self, setup):
+        stack, gamma, beta = setup
+        p = the(stack.method_steps(beta, gamma, "1", "popA"))
+        assert p.retval == EMPTY
+
+
+class TestOperationRecording:
+    def test_push_indices_count_ops(self, setup):
+        stack, gamma, beta = setup
+        s = the(stack.method_steps(beta, gamma, "1", "pushR", 1))
+        assert s.action.index == 1  # init is op 0
+        s2 = the(stack.method_steps(s.lib, s.cli, "1", "push", 2))
+        assert s2.action.index == 2
+
+    def test_push_requires_argument(self, setup):
+        stack, gamma, beta = setup
+        with pytest.raises(ValueError):
+            list(stack.method_steps(beta, gamma, "1", "push"))
+
+    def test_sync_flag_follows_annotation(self, setup):
+        stack, gamma, beta = setup
+        rel = the(stack.method_steps(beta, gamma, "1", "pushR", 1))
+        assert rel.action.sync
+        rlx = the(stack.method_steps(rel.lib, rel.cli, "1", "push", 2))
+        assert not rlx.action.sync
+
+    def test_pop_records_value(self, setup):
+        stack, gamma, beta = setup
+        s = the(stack.method_steps(beta, gamma, "1", "push", 7))
+        p = the(stack.method_steps(s.lib, s.cli, "2", "pop"))
+        assert p.action.val == 7
+        assert p.action.method == "pop"
+
+
+class TestSynchronisation:
+    def _publish(self, setup, push_method, pop_method):
+        from repro.memory.transitions import write_steps
+
+        stack, gamma, beta = setup
+        # Thread 1: d := 5 (client); push(1).
+        _a, _w, gamma1, _ = the(
+            write_steps(gamma, beta, "1", "d", 5, release=False)
+        )
+        dnew = gamma1.thread_view("1", "d")
+        s = the(stack.method_steps(beta, gamma1, "1", push_method, 1))
+        # Thread 2 pops.
+        p = the(stack.method_steps(s.lib, s.cli, "2", pop_method))
+        assert p.retval == 1
+        return dnew, p
+
+    def test_release_acquire_pair_transfers_view(self, setup):
+        dnew, p = self._publish(setup, "pushR", "popA")
+        assert p.cli.thread_view("2", "d") == dnew
+
+    def test_relaxed_push_does_not_transfer(self, setup):
+        dnew, p = self._publish(setup, "push", "popA")
+        assert p.cli.thread_view("2", "d") != dnew
+
+    def test_relaxed_pop_does_not_transfer(self, setup):
+        dnew, p = self._publish(setup, "pushR", "pop")
+        assert p.cli.thread_view("2", "d") != dnew
+
+    def test_unknown_method_raises(self, setup):
+        stack, gamma, beta = setup
+        with pytest.raises(ValueError):
+            list(stack.method_steps(beta, gamma, "1", "peek"))

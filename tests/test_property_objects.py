@@ -1,0 +1,171 @@
+"""Model-based property tests for the abstract objects.
+
+Hypothesis drives random method sequences against each abstract object
+and an ordinary Python reference model; because the objects' operations
+are totally ordered (timestamp-maximal insertion), sequential replay
+must agree with the model exactly.  Structural invariants of the
+operation sets are checked along the way.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast as A
+from repro.lang.expr import EMPTY
+from repro.lang.program import Program
+from repro.memory.initial import initial_states
+from repro.objects.counter import AbstractCounter
+from repro.objects.lock import AbstractLock
+from repro.objects.queue import AbstractQueue
+from repro.objects.stack import AbstractStack
+
+TIDS = ("1", "2")
+
+
+def _setup(obj):
+    program = Program(
+        threads={t: A.skip() for t in TIDS},
+        objects=(obj,),
+    )
+    _gamma, beta = initial_states(program)
+    return program, beta, _gamma
+
+
+def the(steps):
+    out = list(steps)
+    assert len(out) == 1
+    return out[0]
+
+
+stack_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "pushR", "pop", "popA"]),
+        st.integers(min_value=1, max_value=5),
+        st.sampled_from(TIDS),
+    ),
+    max_size=12,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=stack_ops)
+def test_stack_agrees_with_list_model(ops):
+    stack = AbstractStack("s")
+    _p, lib, cli = _setup(stack)
+    model = []
+    for method, arg, tid in ops:
+        if method.startswith("push"):
+            step = the(stack.method_steps(lib, cli, tid, method, arg))
+            model.append(arg)
+        else:
+            step = the(stack.method_steps(lib, cli, tid, method))
+            expected = model.pop() if model else EMPTY
+            assert step.retval == expected
+        lib, cli = step.lib, step.cli
+        assert [v for v, _ in stack.content(lib)] == model
+
+
+queue_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["enq", "enqR", "deq", "deqA"]),
+        st.integers(min_value=1, max_value=5),
+        st.sampled_from(TIDS),
+    ),
+    max_size=12,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=queue_ops)
+def test_queue_agrees_with_fifo_model(ops):
+    queue = AbstractQueue("q")
+    _p, lib, cli = _setup(queue)
+    model = []
+    for method, arg, tid in ops:
+        if method.startswith("enq"):
+            step = the(queue.method_steps(lib, cli, tid, method, arg))
+            model.append(arg)
+        else:
+            step = the(queue.method_steps(lib, cli, tid, method))
+            expected = model.pop(0) if model else EMPTY
+            assert step.retval == expected
+        lib, cli = step.lib, step.cli
+        assert [v for v, _ in queue.content(lib)] == model
+
+
+lock_ops = st.lists(
+    st.tuples(st.sampled_from(["acquire", "release"]), st.sampled_from(TIDS)),
+    max_size=12,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=lock_ops)
+def test_lock_agrees_with_owner_model(ops):
+    lock = AbstractLock("l")
+    _p, lib, cli = _setup(lock)
+    holder = None
+    count = 0
+    for method, tid in ops:
+        steps = list(lock.method_steps(lib, cli, tid, method))
+        if method == "acquire":
+            if holder is None:
+                assert len(steps) == 1
+                holder = tid
+                count += 1
+                assert steps[0].retval == count
+                lib, cli = steps[0].lib, steps[0].cli
+            else:
+                assert steps == []  # blocked
+        else:
+            if holder == tid:
+                assert len(steps) == 1
+                holder = None
+                count += 1
+                lib, cli = steps[0].lib, steps[0].cli
+            else:
+                assert steps == []  # not the owner
+        assert lock.holder(lib) == holder
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["inc", "read"]), st.sampled_from(TIDS)),
+        max_size=10,
+    )
+)
+def test_counter_agrees_with_int_model(ops):
+    counter = AbstractCounter("c")
+    _p, lib, cli = _setup(counter)
+    model = 0
+    for method, tid in ops:
+        if method == "inc":
+            step = the(counter.method_steps(lib, cli, tid, "inc"))
+            assert step.retval == model
+            model += 1
+            lib, cli = step.lib, step.cli
+        else:
+            values = {
+                s.retval for s in counter.method_steps(lib, cli, tid, "read")
+            }
+            # Weak reads return *some* historical value up to the model.
+            assert values <= set(range(model + 1))
+            assert model in values or 0 in values
+        assert counter.value(lib) == model
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=stack_ops)
+def test_object_ops_structural_invariants(ops):
+    """Operation indices are consecutive and timestamps strictly
+    increase in index order (total order of object operations)."""
+    stack = AbstractStack("s")
+    _p, lib, cli = _setup(stack)
+    for method, arg, tid in ops:
+        arg_val = arg if method.startswith("push") else None
+        step = the(stack.method_steps(lib, cli, tid, method, arg_val))
+        lib, cli = step.lib, step.cli
+    recorded = sorted(lib.ops_on("s"), key=lambda op: op.ts)
+    indices = [op.act.index for op in recorded]
+    assert indices == list(range(len(recorded)))

@@ -1,0 +1,80 @@
+"""Property tests for the trace-refinement pipeline on random programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit
+from repro.lang.program import Program, Thread
+from repro.refinement.tracecheck import (
+    check_program_refinement,
+    client_traces,
+    prefix_closure,
+)
+
+VARS = ("x", "y")
+
+
+@st.composite
+def simple_programs(draw):
+    """Small two-thread programs over client variables only."""
+    def body():
+        n = draw(st.integers(min_value=1, max_value=2))
+        cmds = []
+        for _ in range(n):
+            var = draw(st.sampled_from(VARS))
+            if draw(st.booleans()):
+                cmds.append(
+                    A.Write(var, Lit(draw(st.integers(1, 2))),
+                            release=draw(st.booleans()))
+                )
+            else:
+                cmds.append(
+                    A.Read(draw(st.sampled_from(("r1", "r2"))), var,
+                           acquire=draw(st.booleans()))
+                )
+        return A.seq(*cmds)
+
+    return Program(
+        threads={"1": Thread(body()), "2": Thread(body())},
+        client_vars={v: 0 for v in VARS},
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=simple_programs())
+def test_refinement_reflexive(p):
+    """Every program trace-refines itself (Definition 6 reflexivity)."""
+    result = check_program_refinement(p, p)
+    assert result.refines
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=simple_programs())
+def test_traces_start_at_initial_projection(p):
+    from repro.refinement.traces import client_projection
+    from repro.semantics.config import initial_config
+
+    traces, cyclic = client_traces(p)
+    assert not cyclic
+    init_proj = client_projection(p, initial_config(p))
+    for trace in traces:
+        assert trace[0] == init_proj
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=simple_programs())
+def test_traces_are_stutter_free(p):
+    traces, _ = client_traces(p)
+    for trace in traces:
+        assert all(a != b for a, b in zip(trace, trace[1:]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=simple_programs())
+def test_prefix_closure_contains_originals(p):
+    traces, _ = client_traces(p)
+    closure = prefix_closure(traces)
+    assert traces <= closure
+    for t in closure:
+        assert any(t == full[: len(t)] for full in traces)

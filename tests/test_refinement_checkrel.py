@@ -1,0 +1,172 @@
+"""Tests for checking user-supplied simulation relations (Definition 8).
+
+The paper's Isabelle proofs of Propositions 9 and 10 supply the
+simulation relation explicitly; here we express those relations and have
+the checker discharge the three conditions — then falsify deliberately
+wrong relations.
+"""
+
+import pytest
+
+from repro.refinement.checkrel import check_simulation_relation
+from tests.conftest import (
+    abstract_lock_client,
+    seqlock_client,
+    spinlock_client,
+    ticketlock_client,
+)
+
+
+def pcs_equal(abs_env, conc_env) -> bool:
+    p_a, p_c = abs_env.program, conc_env.program
+    return all(
+        abs_env.pc(t) == conc_env.pc(t) for t in p_a.tids
+    ) and p_a.tids == p_c.tids
+
+
+def obs_refines(abs_env, conc_env) -> bool:
+    from repro.refinement.traces import client_projection
+
+    conc = client_projection(conc_env.program, conc_env.config)
+    abst = client_projection(abs_env.program, abs_env.config)
+    return conc.refines(abst)
+
+
+def abstract_holder(abs_env):
+    lock = abs_env.program.object_map["l"]
+    return lock.holder(abs_env.beta)
+
+
+class TestSeqlockRelation:
+    """The Proposition 9 relation: client states agree, and the lock
+    correspondence is glb's parity — odd iff taken — refined by the
+    *completion window*: between a thread's successful CAS (which makes
+    glb odd) and the end of its Acquire body there are only silent
+    steps, during which the abstract lock is still free.  The abstract
+    acquire fires at the body-completing step (everything else in the
+    acquire loop stutters).  The paper's hand-built relation makes the
+    same distinction through the implementation's local state."""
+
+    @staticmethod
+    def taker(conc_env):
+        """The thread whose successful CAS currently holds glb odd."""
+        last = conc_env.beta.last_op("glb")
+        if last.act.kind == "updRA" and last.act.val % 2 == 1:
+            return last.act.tid
+        return None
+
+    @classmethod
+    def relation(cls, abs_env, conc_env) -> bool:
+        if not (pcs_equal(abs_env, conc_env) and obs_refines(abs_env, conc_env)):
+            return False
+        taker = cls.taker(conc_env)
+        # Abstract holds iff glb is taken *and* the taker's Acquire body
+        # has completed (its pc left the acquire label).
+        effective_held = taker is not None and conc_env.pc(taker) != 1
+        return (abstract_holder(abs_env) is not None) == effective_held
+
+    def test_relation_is_a_simulation(self):
+        result = check_simulation_relation(
+            seqlock_client(), abstract_lock_client(), self.relation
+        )
+        assert result.valid, result.failures[:2]
+        assert result.related_pairs > 0
+        assert result.checked_steps > 0
+
+    def test_wrong_parity_rejected(self):
+        def broken(abs_env, conc_env):
+            if not (pcs_equal(abs_env, conc_env) and obs_refines(abs_env, conc_env)):
+                return False
+            glb = conc_env.beta.last_op("glb").act.val
+            held = abstract_holder(abs_env) is not None
+            return (glb % 2 == 0) == held  # inverted correspondence
+
+        result = check_simulation_relation(
+            seqlock_client(), abstract_lock_client(), broken
+        )
+        assert not result.valid
+
+    def test_window_conjunct_matters(self):
+        """Without the completion window the parity correspondence is
+        *not* a simulation (the CAS-success step is unmatchable)."""
+
+        def naive(abs_env, conc_env):
+            if not (pcs_equal(abs_env, conc_env) and obs_refines(abs_env, conc_env)):
+                return False
+            glb = conc_env.beta.last_op("glb").act.val
+            return (glb % 2 == 1) == (abstract_holder(abs_env) is not None)
+
+        result = check_simulation_relation(
+            seqlock_client(), abstract_lock_client(), naive
+        )
+        assert not result.valid
+        assert any(kind == "unmatched-step" for kind, _a, _c in result.failures)
+
+    def test_empty_relation_rejected_at_init(self):
+        result = check_simulation_relation(
+            seqlock_client(),
+            abstract_lock_client(),
+            lambda a, c: False,
+        )
+        assert not result.valid
+        assert result.failures[0][0] == "initial"
+
+
+class TestTicketlockRelation:
+    """Proposition 10's relation: serving-now corresponds to completed
+    handovers — the lock is held iff fewer releases than acquires have
+    occurred, i.e. iff some ticket was taken and not yet served out."""
+
+    @staticmethod
+    def relation(abs_env, conc_env) -> bool:
+        if not (pcs_equal(abs_env, conc_env) and obs_refines(abs_env, conc_env)):
+            return False
+        held = abstract_holder(abs_env) is not None
+        # Concrete: the number of completed releases is sn's value; the
+        # number of *effective* acquires equals the abstract acquire
+        # count (pc alignment pins them); held iff acquires > releases.
+        sn = conc_env.beta.last_op("sn").act.val
+        acquires = sum(
+            1
+            for op in abs_env.beta.ops_on("l")
+            if op.act.method == "acquire"
+        )
+        return held == (acquires > sn)
+
+    def test_relation_is_a_simulation(self):
+        result = check_simulation_relation(
+            ticketlock_client(), abstract_lock_client(), self.relation
+        )
+        assert result.valid
+
+
+class TestGenericRelation:
+    """The weakest paper-shaped relation — client alignment plus the
+    observation condition — is itself a simulation for all three locks
+    (the timing of abstract method firing is pinned by pc equality)."""
+
+    @staticmethod
+    def relation(abs_env, conc_env) -> bool:
+        return pcs_equal(abs_env, conc_env) and obs_refines(abs_env, conc_env)
+
+    @pytest.mark.parametrize(
+        "make_concrete",
+        [seqlock_client, ticketlock_client, spinlock_client],
+        ids=["seqlock", "ticketlock", "spinlock"],
+    )
+    def test_simulation(self, make_concrete):
+        result = check_simulation_relation(
+            make_concrete(), abstract_lock_client(), self.relation
+        )
+        assert result.valid
+
+    def test_agreement_with_game_solver(self):
+        """The checker and the game solver agree on validity."""
+        from repro.refinement.simulation import find_forward_simulation
+
+        conc, abst = spinlock_client(), abstract_lock_client()
+        game = find_forward_simulation(conc, abst)
+        supplied = check_simulation_relation(conc, abst, self.relation)
+        assert game.found and supplied.valid
+        # The supplied relation is contained in the game's greatest one.
+        assert supplied.related_pairs <= game.relation_size

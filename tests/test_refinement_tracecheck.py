@@ -1,0 +1,149 @@
+"""Tests for direct trace-refinement checking (Definitions 6–7)."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.lang.program import Program, Thread
+from repro.refinement.tracecheck import (
+    _tarjan_scc,
+    check_program_refinement,
+    client_traces,
+    prefix_closure,
+)
+from tests.conftest import (
+    abstract_lock_client,
+    seqlock_client,
+    spinlock_client,
+    ticketlock_client,
+)
+
+
+class TestTarjan:
+    def _edges(self, adj):
+        # Adapt {u: [v, ...]} to the explorer's edge format.
+        return {u: [(None, None, None, v) for v in vs] for u, vs in adj.items()}
+
+    def test_dag(self):
+        scc = _tarjan_scc(["a", "b", "c"], self._edges({"a": ["b"], "b": ["c"], "c": []}))
+        assert len({scc["a"], scc["b"], scc["c"]}) == 3
+        # Reverse-topological ids: successors get smaller ids.
+        assert scc["c"] < scc["b"] < scc["a"]
+
+    def test_cycle_collapses(self):
+        scc = _tarjan_scc(
+            ["a", "b", "c"],
+            self._edges({"a": ["b"], "b": ["a", "c"], "c": []}),
+        )
+        assert scc["a"] == scc["b"]
+        assert scc["c"] != scc["a"]
+
+    def test_self_loop(self):
+        scc = _tarjan_scc(["a", "b"], self._edges({"a": ["a", "b"], "b": []}))
+        assert scc["a"] != scc["b"]
+
+    def test_two_components(self):
+        scc = _tarjan_scc(
+            ["a", "b", "c", "d"],
+            self._edges(
+                {"a": ["b"], "b": ["a"], "c": ["d"], "d": ["c"], }
+            ),
+        )
+        assert scc["a"] == scc["b"]
+        assert scc["c"] == scc["d"]
+        assert scc["a"] != scc["c"]
+
+
+class TestClientTraces:
+    def test_sequential_program_single_trace(self):
+        p = Program(
+            threads={"1": Thread(A.seq(A.Write("x", Lit(1)), A.Write("x", Lit(2))))},
+            client_vars={"x": 0},
+        )
+        traces, cyclic = client_traces(p)
+        assert not cyclic
+        assert len(traces) == 1
+        (trace,) = traces
+        assert len(trace) == 3  # init, after first write, after second
+
+    def test_library_loop_does_not_blow_up(self):
+        # Busy-wait loops produce cycles with constant client projection.
+        p = seqlock_client()
+        traces, cyclic = client_traces(p)
+        assert not cyclic
+        assert len(traces) >= 1
+
+    def test_racy_program_multiple_traces(self):
+        p = Program(
+            threads={
+                "1": Thread(A.Write("x", Lit(1))),
+                "2": Thread(A.Write("x", Lit(2))),
+            },
+            client_vars={"x": 0},
+        )
+        traces, _ = client_traces(p)
+        assert len(traces) > 1
+
+    def test_truncation_raises(self):
+        from repro.util.errors import VerificationError
+
+        with pytest.raises(VerificationError):
+            client_traces(seqlock_client(), max_states=5)
+
+
+class TestPrefixClosure:
+    def test_includes_all_prefixes(self):
+        traces = {(1, 2, 3)}
+        assert prefix_closure(traces) == {(1,), (1, 2), (1, 2, 3)}
+
+    def test_union(self):
+        closure = prefix_closure({(1, 2), (1, 3)})
+        assert closure == {(1,), (1, 2), (1, 3)}
+
+
+class TestProgramRefinement:
+    def test_reflexive(self):
+        p = abstract_lock_client()
+        assert check_program_refinement(p, p).refines
+
+    @pytest.mark.parametrize(
+        "make_concrete",
+        [seqlock_client, ticketlock_client, spinlock_client],
+        ids=["seqlock", "ticketlock", "spinlock"],
+    )
+    def test_locks_refine_abstract(self, make_concrete):
+        result = check_program_refinement(
+            make_concrete(), abstract_lock_client()
+        )
+        assert result.refines
+        assert result.concrete_traces >= 1
+        assert not result.cyclic_client_change
+
+    def test_broken_lock_rejected(self):
+        from repro.litmus.clients import lock_client
+
+        def broken_fill(obj, method, dest=None):
+            if method == "acquire":
+                return A.LibBlock(
+                    A.do_until(
+                        A.Cas("_b", "lk", Lit(0), Lit(1)), Reg("_b")
+                    )
+                )
+            return A.LibBlock(A.Write("lk", Lit(0)))  # relaxed: broken
+
+        concrete = lock_client(broken_fill, lib_vars={"lk": 0})
+        result = check_program_refinement(concrete, abstract_lock_client())
+        assert not result.refines
+        assert result.unmatched
+
+    def test_abstract_does_not_refine_concrete_weaker(self):
+        """Refinement is directional: a client over the *relaxed* stack
+        does not refine the same client over the synchronising stack."""
+        from tests.conftest import stack_program
+
+        weak = stack_program(sync=False)
+        strong = stack_program(sync=True)
+        # weak ⊑ strong fails (weak has the stale-read trace)…
+        assert not check_program_refinement(weak, strong).refines
+        # …while strong ⊑ weak holds (sync removes behaviours).
+        assert check_program_refinement(strong, weak).refines

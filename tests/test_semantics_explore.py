@@ -1,0 +1,140 @@
+"""Tests for the exhaustive explorer and random executor."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.lang.program import Program, Thread
+from repro.objects.lock import AbstractLock
+from repro.semantics.explore import (
+    assert_invariant,
+    explore,
+    final_outcomes,
+    reachable,
+)
+from repro.semantics.random_exec import random_run, sample_outcomes
+from repro.util.errors import VerificationError
+from tests.conftest import mp_ra, mp_relaxed
+
+
+class TestExplore:
+    def test_terminals_and_outcomes(self, mp_relaxed_result):
+        r = mp_relaxed_result
+        assert not r.truncated
+        assert not r.stuck
+        outcomes = r.terminal_locals(("2", "r1"), ("2", "r2"))
+        assert outcomes == {(0, 0), (0, 5), (1, 0), (1, 5)}
+
+    def test_state_count_reported(self, mp_relaxed_result):
+        assert mp_relaxed_result.state_count > 1
+        assert mp_relaxed_result.edge_count >= mp_relaxed_result.state_count - 1
+
+    def test_collect_edges(self):
+        p = mp_relaxed()
+        r = explore(p, collect_edges=True)
+        assert r.edges is not None
+        assert set(r.edges) == set(r.configs)
+        # Every edge target is a known config.
+        for edges in r.edges.values():
+            for _tid, _comp, _act, tkey in edges:
+                assert tkey in r.configs
+
+    def test_truncation_flag(self):
+        p = mp_relaxed()
+        r = explore(p, max_states=3)
+        assert r.truncated
+
+    def test_invariant_checking_mode(self):
+        # Diagnostic mode: component coherence at every configuration.
+        explore(mp_ra(), check_invariants=True)
+
+    def test_on_config_callback(self):
+        seen = []
+        explore(mp_relaxed(), on_config=seen.append)
+        assert len(seen) == explore(mp_relaxed()).state_count
+
+
+class TestDeadlockDetection:
+    def test_double_acquire_deadlocks(self):
+        # A thread acquiring twice blocks forever: stuck, not terminal.
+        lock = AbstractLock("l")
+        body = A.seq(A.MethodCall("l", "acquire"), A.MethodCall("l", "acquire"))
+        p = Program(threads={"1": Thread(body)}, objects=(lock,))
+        r = explore(p)
+        assert len(r.stuck) == 1
+        assert not r.terminals
+
+    def test_final_outcomes_raises_on_deadlock(self):
+        lock = AbstractLock("l")
+        body = A.seq(A.MethodCall("l", "acquire"), A.MethodCall("l", "acquire"))
+        p = Program(threads={"1": Thread(body)}, objects=(lock,))
+        with pytest.raises(VerificationError):
+            final_outcomes(p, ())
+
+    def test_final_outcomes_raises_on_truncation(self):
+        with pytest.raises(VerificationError):
+            final_outcomes(mp_relaxed(), (), max_states=2)
+
+
+class TestReachable:
+    def test_finds_witness(self):
+        p = mp_relaxed()
+        cfg = reachable(p, lambda c: c.local("2", "r1") == 1)
+        assert cfg is not None
+        assert cfg.local("2", "r1") == 1
+
+    def test_returns_none_when_unreachable(self):
+        p = mp_ra()
+        # The forbidden weak outcome: r1 = 1 ∧ r2 = 0 at termination.
+        cfg = reachable(
+            p,
+            lambda c: c.is_terminal()
+            and c.local("2", "r1") == 1
+            and c.local("2", "r2") == 0,
+        )
+        assert cfg is None
+
+
+class TestAssertInvariant:
+    def test_holds(self):
+        assert_invariant(mp_relaxed(), lambda c: True)
+
+    def test_violation_raises_with_counterexample(self):
+        with pytest.raises(VerificationError) as exc:
+            assert_invariant(
+                mp_relaxed(), lambda c: c.local("2", "r1") != 1
+            )
+        assert exc.value.counterexample is not None
+
+
+class TestRandomExecution:
+    def test_run_terminates(self):
+        r = random_run(mp_relaxed())
+        assert r.terminated
+        assert r.final.is_terminal()
+
+    def test_outcomes_subset_of_exhaustive(self, mp_relaxed_result):
+        exhaustive = mp_relaxed_result.terminal_locals(("2", "r1"), ("2", "r2"))
+        hist = sample_outcomes(
+            mp_relaxed(), (("2", "r1"), ("2", "r2")), runs=50, seed=42
+        )
+        assert set(hist) <= exhaustive
+
+    def test_seeded_reproducibility(self):
+        h1 = sample_outcomes(mp_relaxed(), (("2", "r1"),), runs=20, seed=7)
+        h2 = sample_outcomes(mp_relaxed(), (("2", "r1"),), runs=20, seed=7)
+        assert h1 == h2
+
+    def test_step_cap_reported(self):
+        # An infinite spin: pop-empty loop that can never succeed.
+        from repro.objects.stack import AbstractStack
+
+        body = A.do_until(
+            A.MethodCall("s", "pop", dest="r"), Reg("r").eq(1)
+        )
+        p = Program(
+            threads={"1": Thread(body)}, objects=(AbstractStack("s"),)
+        )
+        r = random_run(p, max_steps=50)
+        assert not r.terminated and not r.deadlocked
+        assert r.steps == 50

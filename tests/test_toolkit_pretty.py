@@ -1,0 +1,122 @@
+"""Tests for the high-level toolkit and the pretty printers."""
+
+import pytest
+
+from repro.impls.seqlock import SEQLOCK_VARS, seqlock_fill
+from repro.impls.spinlock import SPINLOCK_VARS, spinlock_fill
+from repro.impls.ticketlock import TICKETLOCK_VARS, ticketlock_fill
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.semantics.config import initial_config
+from repro.semantics.explore import explore
+from repro.toolkit import (
+    default_lock_battery,
+    verify_lock_implementation,
+)
+from repro.util.pretty import (
+    format_component,
+    format_config,
+    format_locals,
+    format_outcomes,
+)
+from tests.conftest import mp_relaxed, seqlock_client
+
+
+class TestVerifyLockImplementation:
+    @pytest.mark.parametrize(
+        "fill,lib_vars",
+        [
+            (seqlock_fill, SEQLOCK_VARS),
+            (ticketlock_fill, TICKETLOCK_VARS),
+            (spinlock_fill, SPINLOCK_VARS),
+        ],
+        ids=["seqlock", "ticketlock", "spinlock"],
+    )
+    def test_correct_locks_pass(self, fill, lib_vars):
+        report = verify_lock_implementation(
+            fill, lib_vars, check_traces=False
+        )
+        assert report.ok
+        assert len(report.verdicts) == len(default_lock_battery())
+        assert "PASS" in report.describe()
+
+    def test_broken_lock_fails_with_report(self):
+        def broken(obj, method, dest=None):
+            if method == "acquire":
+                return A.LibBlock(
+                    A.do_until(A.Cas("_b", "lk", Lit(0), Lit(1)), Reg("_b"))
+                )
+            return A.LibBlock(A.Write("lk", Lit(0)))
+
+        report = verify_lock_implementation(broken, {"lk": 0})
+        assert not report.ok
+        assert "FAIL" in report.describe()
+        assert any(not v.simulation.found for v in report.verdicts)
+
+    def test_trace_confirmation_included(self):
+        report = verify_lock_implementation(
+            spinlock_fill, SPINLOCK_VARS, check_traces=True
+        )
+        assert report.ok
+        assert all(v.traces is not None and v.traces.refines for v in report.verdicts)
+
+    def test_custom_battery(self):
+        from repro.litmus.clients import lock_client
+
+        report = verify_lock_implementation(
+            spinlock_fill,
+            SPINLOCK_VARS,
+            battery=[("only-readers", lock_client, {})],
+            check_traces=False,
+        )
+        assert report.ok
+        assert len(report.verdicts) == 1
+        assert report.verdicts[0].client == "only-readers"
+
+
+class TestPrettyPrinting:
+    def test_format_component_shows_mo_chains(self):
+        p = mp_relaxed()
+        result = explore(p)
+        cfg = result.terminals[0]
+        text = format_component(cfg.gamma, "client")
+        assert "client:" in text
+        assert "d:" in text and "f:" in text
+        assert "view[1]" in text and "view[2]" in text
+
+    def test_format_component_marks_covered(self):
+        from repro.lang.program import Program, Thread
+
+        p = Program(
+            threads={"1": Thread(A.Fai("r", "x"))}, client_vars={"x": 0}
+        )
+        result = explore(p)
+        (terminal,) = result.terminals
+        text = format_component(terminal.gamma)
+        assert "†" in text
+
+    def test_format_config(self):
+        p = seqlock_client()
+        cfg = initial_config(p)
+        text = format_config(p, cfg)
+        assert "pc1 = 1" in text
+        assert "client γ" in text and "library β" in text
+        assert "glb" in text
+
+    def test_format_config_terminal_flag(self):
+        p = mp_relaxed()
+        result = explore(p)
+        text = format_config(p, result.terminals[0])
+        assert "[terminal]" in text
+
+    def test_format_locals_empty(self):
+        p = mp_relaxed()
+        text = format_locals(initial_config(p))
+        assert "(empty)" in text
+
+    def test_format_outcomes(self):
+        p = mp_relaxed()
+        outcomes = explore(p).terminal_locals(("2", "r1"), ("2", "r2"))
+        text = format_outcomes(outcomes, (("2", "r1"), ("2", "r2")))
+        assert "2.r1" in text
+        assert len(text.splitlines()) == 2 + len(outcomes)

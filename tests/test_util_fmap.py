@@ -1,0 +1,108 @@
+"""Unit and property tests for the immutable map."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.fmap import FMap
+
+keys = st.text(min_size=1, max_size=4)
+values = st.integers(min_value=-10, max_value=10)
+dicts = st.dictionaries(keys, values, max_size=8)
+
+
+class TestBasics:
+    def test_empty(self):
+        m = FMap()
+        assert len(m) == 0
+        assert "a" not in m
+        assert m.get("a") is None
+
+    def test_from_dict(self):
+        m = FMap({"a": 1, "b": 2})
+        assert m["a"] == 1
+        assert m["b"] == 2
+        assert len(m) == 2
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            FMap()["nope"]
+
+    def test_iteration(self):
+        m = FMap({"a": 1, "b": 2})
+        assert sorted(m) == ["a", "b"]
+        assert dict(m.items()) == {"a": 1, "b": 2}
+
+
+class TestFunctionalUpdate:
+    def test_set_does_not_mutate(self):
+        m1 = FMap({"a": 1})
+        m2 = m1.set("a", 2)
+        assert m1["a"] == 1
+        assert m2["a"] == 2
+
+    def test_set_adds(self):
+        m = FMap().set("x", 5)
+        assert m["x"] == 5
+
+    def test_set_many(self):
+        m = FMap({"a": 1}).set_many({"b": 2, "c": 3})
+        assert dict(m.items()) == {"a": 1, "b": 2, "c": 3}
+
+    def test_set_many_empty_returns_self(self):
+        m = FMap({"a": 1})
+        assert m.set_many({}) is m
+
+    def test_remove(self):
+        m1 = FMap({"a": 1, "b": 2})
+        m2 = m1.remove("a")
+        assert "a" not in m2
+        assert "a" in m1
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            FMap().remove("a")
+
+
+class TestIdentity:
+    def test_equality_structural(self):
+        assert FMap({"a": 1}) == FMap({"a": 1})
+        assert FMap({"a": 1}) != FMap({"a": 2})
+
+    def test_equality_with_plain_mapping(self):
+        assert FMap({"a": 1}) == {"a": 1}
+
+    def test_hash_consistent(self):
+        assert hash(FMap({"a": 1, "b": 2})) == hash(FMap({"b": 2, "a": 1}))
+
+    def test_usable_as_dict_key(self):
+        d = {FMap({"a": 1}): "x"}
+        assert d[FMap({"a": 1})] == "x"
+
+    @given(d=dicts)
+    def test_property_roundtrip(self, d):
+        assert dict(FMap(d).items()) == d
+
+    @given(d=dicts, k=keys, v=values)
+    def test_property_set_get(self, d, k, v):
+        m = FMap(d).set(k, v)
+        assert m[k] == v
+        for other, val in d.items():
+            if other != k:
+                assert m[other] == val
+
+    @given(d=dicts)
+    def test_property_hash_equals_imply_eq_dict(self, d):
+        m1, m2 = FMap(d), FMap(dict(d))
+        assert m1 == m2 and hash(m1) == hash(m2)
+
+
+class TestSortedItems:
+    def test_items_sorted_deterministic(self):
+        m = FMap({"b": 2, "a": 1})
+        assert m.items_sorted() == (("a", 1), ("b", 2))
+
+    def test_items_sorted_heterogeneous_keys(self):
+        # Tuple keys of mixed shapes sort by repr without TypeError.
+        m = FMap({("t1", "x"): 1, ("t2", "y"): 2})
+        assert len(m.items_sorted()) == 2

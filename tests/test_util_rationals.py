@@ -1,0 +1,147 @@
+"""Unit and property tests for timestamp arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rationals import (
+    TS_ZERO,
+    between,
+    fresh_after,
+    is_fresh,
+    next_after,
+    rank_map,
+)
+
+fractions = st.fractions(
+    min_value=-100, max_value=100, max_denominator=64
+)
+
+
+class TestBetween:
+    def test_midpoint(self):
+        assert between(Fraction(0), Fraction(1)) == Fraction(1, 2)
+
+    def test_strictly_inside(self):
+        lo, hi = Fraction(3, 7), Fraction(4, 7)
+        mid = between(lo, hi)
+        assert lo < mid < hi
+
+    def test_empty_gap_rejected(self):
+        with pytest.raises(ValueError):
+            between(Fraction(1), Fraction(1))
+        with pytest.raises(ValueError):
+            between(Fraction(2), Fraction(1))
+
+    @given(a=fractions, b=fractions)
+    def test_property_strictly_between(self, a, b):
+        if a == b:
+            return
+        lo, hi = min(a, b), max(a, b)
+        mid = between(lo, hi)
+        assert lo < mid < hi
+
+
+class TestNextAfter:
+    def test_increments(self):
+        assert next_after(Fraction(3)) == Fraction(4)
+
+    @given(a=fractions)
+    def test_property_strictly_after(self, a):
+        assert next_after(a) > a
+
+
+class TestFreshAfter:
+    def test_top_of_order(self):
+        existing = [Fraction(0), Fraction(1)]
+        q = fresh_after(Fraction(1), existing)
+        assert q == Fraction(2)
+
+    def test_inserts_in_gap(self):
+        existing = [Fraction(0), Fraction(1), Fraction(2)]
+        q = fresh_after(Fraction(0), existing)
+        assert Fraction(0) < q < Fraction(1)
+
+    def test_ignores_earlier_timestamps(self):
+        existing = [Fraction(-5), Fraction(0), Fraction(10)]
+        q = fresh_after(Fraction(0), existing)
+        assert Fraction(0) < q < Fraction(10)
+
+    @given(sts=st.lists(fractions, min_size=1, max_size=10))
+    def test_property_fresh_predicate_holds(self, sts):
+        # Inserting after any existing timestamp satisfies the paper's
+        # fresh(q, q') predicate.
+        for q in sts:
+            q_new = fresh_after(q, sts)
+            assert is_fresh(q, q_new, sts)
+
+    @given(sts=st.lists(fractions, min_size=1, max_size=10))
+    def test_property_never_collides(self, sts):
+        for q in sts:
+            assert fresh_after(q, sts) not in sts
+
+    @given(sts=st.lists(fractions, min_size=2, max_size=10, unique=True))
+    def test_property_preserves_relative_order(self, sts):
+        # After inserting, every pre-existing pair keeps its order and
+        # the new timestamp lands directly after its anchor.
+        sts = sorted(sts)
+        anchor = sts[0]
+        q_new = fresh_after(anchor, sts)
+        ordered = sorted(sts + [q_new])
+        assert ordered.index(q_new) == ordered.index(anchor) + 1
+
+
+class TestIsFresh:
+    def test_rejects_non_increasing(self):
+        assert not is_fresh(Fraction(1), Fraction(1), [])
+        assert not is_fresh(Fraction(2), Fraction(1), [])
+
+    def test_rejects_jumping_over(self):
+        existing = [Fraction(0), Fraction(1), Fraction(2)]
+        # 1.5 jumps over nothing; 2.5 jumps over 2.
+        assert is_fresh(Fraction(1), Fraction(3, 2), existing)
+        assert not is_fresh(Fraction(1), Fraction(5, 2), existing)
+
+
+class TestRankMap:
+    def test_empty(self):
+        assert rank_map([]) == {}
+
+    def test_ranks_sorted(self):
+        m = rank_map([Fraction(5), Fraction(1), Fraction(3)])
+        assert m == {
+            Fraction(1): Fraction(0),
+            Fraction(3): Fraction(1),
+            Fraction(5): Fraction(2),
+        }
+
+    def test_duplicates_collapse(self):
+        m = rank_map([Fraction(1), Fraction(1), Fraction(2)])
+        assert m == {Fraction(1): Fraction(0), Fraction(2): Fraction(1)}
+
+    @given(sts=st.lists(fractions, min_size=1, max_size=20))
+    def test_property_order_isomorphic(self, sts):
+        m = rank_map(sts)
+        for a in sts:
+            for b in sts:
+                assert (a < b) == (m[a] < m[b])
+
+    @given(
+        sts=st.lists(fractions, min_size=1, max_size=20),
+        scale=st.integers(min_value=1, max_value=9),
+        shift=fractions,
+    )
+    def test_property_invariant_under_affine_rescaling(self, sts, scale, shift):
+        # rank_map is invariant under order-preserving relabelling — the
+        # core fact behind canonical state hashing.
+        rescaled = [ts * scale + shift for ts in sts]
+        m1 = rank_map(sts)
+        m2 = rank_map(rescaled)
+        for ts in sts:
+            assert m1[ts] == m2[ts * scale + shift]
+
+    def test_zero_is_rank_zero_when_minimal(self):
+        m = rank_map([TS_ZERO, Fraction(7)])
+        assert m[TS_ZERO] == Fraction(0)
