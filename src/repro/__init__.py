@@ -15,7 +15,11 @@ mechanisation becomes an executable model-checking framework:
   game solver (:mod:`repro.refinement`, §6 / Props 9-10);
 * the sequence lock, ticket lock and spinlock implementations
   (:mod:`repro.impls`) and the paper's figure programs
-  (:mod:`repro.figures`).
+  (:mod:`repro.figures`);
+* the exploration engine (:mod:`repro.engine`) — pluggable frontier
+  strategies (BFS / DFS / random swarm), a sharded multiprocess
+  explorer, a persistent result cache keyed by stable program
+  fingerprint, and a concurrent batch job runner with JSON reports.
 
 Quickstart::
 
@@ -27,8 +31,24 @@ Quickstart::
                    client_vars={"d": 0, "f": 0})
     result = explore(prog)
     print(result.terminal_locals(("2", "r1"), ("2", "r2")))
+
+Engine quickstart::
+
+    from repro import ExplorationEngine, ResultCache
+
+    engine = ExplorationEngine(workers=4, cache=ResultCache())
+    summary = engine.run(prog)          # cached on the second call
+    full = engine.explore(prog)         # full graph, sharded exploration
 """
 
+from repro.engine import (
+    ExplorationEngine,
+    ExploreResult,
+    ExploreSummary,
+    ResultCache,
+    program_fingerprint,
+    run_batch,
+)
 from repro.lang import ast
 from repro.lang.expr import EMPTY, Lit, Reg, lit, reg
 from repro.lang.program import Program, Thread
@@ -62,10 +82,14 @@ __all__ = [
     "AbstractStack",
     "Config",
     "EMPTY",
+    "ExplorationEngine",
+    "ExploreResult",
+    "ExploreSummary",
     "Lit",
     "ProofOutline",
     "Program",
     "Reg",
+    "ResultCache",
     "Thread",
     "ThreadOutline",
     "__version__",
@@ -80,9 +104,11 @@ __all__ = [
     "format_config",
     "initial_config",
     "lit",
+    "program_fingerprint",
     "random_run",
     "reachable",
     "reg",
+    "run_batch",
     "sample_outcomes",
     "verify_lock_implementation",
 ]

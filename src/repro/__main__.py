@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro [command]``.
+"""Command-line entry point: ``python -m repro [command] [options]``.
 
 Commands:
 
@@ -6,32 +6,73 @@ Commands:
 * ``figures``  — verify the paper's figures (1, 2, 3, 7) end to end;
 * ``refine``   — verify all lock implementations against the abstract
   lock across the client battery;
-* ``all``      — everything above (default).
+* ``batch``    — run named verification jobs concurrently and emit a
+  JSON report (see ``--jobs``/``--json``);
+* ``all``      — litmus + figures + refine (default).
+
+Options:
+
+* ``--workers N``   — worker processes: the engine's sharded explorer
+  for ``litmus``, job-level concurrency for ``batch`` (default 1);
+* ``--strategy S``  — frontier strategy ``bfs`` | ``dfs`` |
+  ``swarm[:seed]`` (sequential engine only);
+* ``--no-cache``    — disable the persistent result cache;
+* ``--jobs a,b,c``  — subset of batch jobs (default: all);
+* ``--json PATH``   — write the batch report to PATH.
+
+Flags only apply to commands that read them (``--jobs``/``--json`` are
+batch-only, ``figures`` takes none); inapplicable flags are rejected.
+
+The cache directory honours ``REPRO_CACHE_DIR`` (default
+``~/.cache/repro-engine``); ``REPRO_CACHE=0`` disables caching globally.
 """
 
 from __future__ import annotations
 
 import sys
+from typing import Optional
 
 
-def run_litmus() -> bool:
+def _make_engine(options: Optional[dict] = None):
+    """Build the exploration engine the CLI commands route through."""
+    from repro.engine import ExplorationEngine, ResultCache, cache_enabled_by_env
+
+    options = options or {}
+    cache = None
+    if not options.get("no_cache") and cache_enabled_by_env():
+        cache = ResultCache()
+    return ExplorationEngine(
+        strategy=options.get("strategy", "bfs"),
+        workers=options.get("workers", 1),
+        cache=cache,
+    )
+
+
+def run_litmus(options: Optional[dict] = None) -> bool:
     """Run the litmus battery; True iff every verdict matches RC11 RAR."""
     from repro.litmus.catalog import LITMUS_TESTS, run_litmus
 
+    engine = _make_engine(options)
     ok = True
-    print(f"{'litmus test':18s} {'states':>7s} {'weak':>10s} verdict")
+    print(f"{'litmus test':18s} {'states':>7s} {'weak':>10s} {'src':>6s} verdict")
     for test in LITMUS_TESTS:
-        result = run_litmus(test)
+        result = run_litmus(test, engine=engine, use_cache=True)
         ok &= result["verdict_ok"]
         weak = "observed" if result["weak_observed"] else "absent"
+        src = "cache" if result["cached"] else "run"
         print(
-            f"{test.name:18s} {result['states']:7d} {weak:>10s} "
+            f"{test.name:18s} {result['states']:7d} {weak:>10s} {src:>6s} "
             f"{'OK' if result['verdict_ok'] else 'MISMATCH'}"
+        )
+    if engine.cache is not None:
+        print(
+            f"engine: {engine.explorations} explorations, "
+            f"cache {engine.cache.hits} hits / {engine.cache.misses} misses"
         )
     return ok
 
 
-def run_figures() -> bool:
+def run_figures(options: Optional[dict] = None) -> bool:
     """Verify the paper's figure programs and proof outlines."""
     from repro.figures.fig1 import EXPECTED_OUTCOMES as F1
     from repro.figures.fig1 import fig1_program
@@ -78,23 +119,102 @@ def run_figures() -> bool:
     return ok
 
 
-def run_refine() -> bool:
+def run_refine(options: Optional[dict] = None) -> bool:
     """Verify every lock implementation against the abstract lock."""
     from repro.impls.seqlock import SEQLOCK_VARS, seqlock_fill
     from repro.impls.spinlock import SPINLOCK_VARS, spinlock_fill
     from repro.impls.ticketlock import TICKETLOCK_VARS, ticketlock_fill
     from repro.toolkit import verify_lock_implementation
 
+    options = options or {}
+    engine = None
+    if options.get("workers", 1) > 1 or options.get("strategy", "bfs") != "bfs":
+        # Refinement needs full transition graphs, so there is nothing
+        # to cache — route through an engine only to pick the backend.
+        from repro.engine import ExplorationEngine
+
+        engine = ExplorationEngine(
+            strategy=options.get("strategy", "bfs"),
+            workers=options.get("workers", 1),
+        )
     ok = True
     for fill, lib_vars in (
         (seqlock_fill, SEQLOCK_VARS),
         (ticketlock_fill, TICKETLOCK_VARS),
         (spinlock_fill, SPINLOCK_VARS),
     ):
-        report = verify_lock_implementation(fill, lib_vars)
+        report = verify_lock_implementation(fill, lib_vars, engine=engine)
         print(report.describe())
         ok &= report.ok
     return ok
+
+
+def run_batch_cmd(options: Optional[dict] = None) -> bool:
+    """Run the batch job suite; True iff every job passes."""
+    from repro.engine.batch import run_batch
+
+    options = options or {}
+    report = run_batch(
+        jobs=options.get("jobs"),
+        workers=options.get("workers", 1),
+        use_cache=not options.get("no_cache", False),
+        json_path=options.get("json"),
+    )
+    print(report.describe())
+    if options.get("json"):
+        print(f"report written to {options['json']}")
+    return report.ok
+
+
+#: Flags each command actually reads; anything else is a usage error
+#: rather than a silent no-op.
+_COMMAND_FLAGS = {
+    "litmus": {"workers", "strategy", "no_cache"},
+    "figures": set(),
+    "refine": {"workers", "strategy"},
+    "batch": {"workers", "jobs", "json", "no_cache"},
+    "all": {"workers", "strategy", "no_cache"},
+}
+
+
+def _parse_options(args, command: str) -> Optional[dict]:
+    """Parse trailing CLI flags; None signals a usage error."""
+    options = {"workers": 1, "strategy": "bfs", "no_cache": False}
+    given = set()
+    i = 0
+    while i < len(args):
+        flag = args[i]
+        if flag == "--no-cache":
+            options["no_cache"] = True
+            given.add("no_cache")
+        elif flag in ("--workers", "--strategy", "--jobs", "--json"):
+            if i + 1 >= len(args):
+                return None
+            value = args[i + 1]
+            i += 1
+            given.add(flag.lstrip("-"))
+            if flag == "--workers":
+                try:
+                    options["workers"] = int(value)
+                except ValueError:
+                    return None
+            elif flag == "--strategy":
+                options["strategy"] = value
+            elif flag == "--jobs":
+                options["jobs"] = [j for j in value.split(",") if j]
+            else:
+                options["json"] = value
+        else:
+            return None
+        i += 1
+    unsupported = given - _COMMAND_FLAGS[command]
+    if unsupported:
+        flags = ", ".join(
+            "--" + f.replace("_", "-") for f in sorted(unsupported)
+        )
+        print(f"error: {flags} not supported by the {command!r} command")
+        return None
+    return options
 
 
 def main(argv) -> int:
@@ -104,16 +224,25 @@ def main(argv) -> int:
         "litmus": [run_litmus],
         "figures": [run_figures],
         "refine": [run_refine],
+        "batch": [run_batch_cmd],
         "all": [run_litmus, run_figures, run_refine],
     }
     if command not in dispatch:
+        print(__doc__)
+        return 2
+    options = _parse_options(argv[2:], command)
+    if options is None:
         print(__doc__)
         return 2
     ok = True
     for i, job in enumerate(dispatch[command]):
         if i:
             print()
-        ok &= job()
+        try:
+            ok &= job(options)
+        except ValueError as exc:  # bad strategy / job names, etc.
+            print(f"error: {exc}")
+            return 2
     print()
     print("ALL CHECKS PASS" if ok else "SOME CHECKS FAILED")
     return 0 if ok else 1

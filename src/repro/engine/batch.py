@@ -1,0 +1,249 @@
+"""Batch job runner: named verification jobs, run concurrently.
+
+A *job* is a self-contained verification workload — the litmus battery,
+the paper-figure checks, or one lock-refinement proof — returning a
+JSON-safe verdict.  :func:`run_batch` executes a list of jobs, spreading
+them across worker processes when ``workers > 1`` (each job is
+single-process internally, so job-level parallelism composes with the
+engine's own sharded explorer only when requested separately), and
+emits a machine-readable report.  ``use_cache`` governs the litmus
+battery, the one workload whose verdicts are summary-shaped and hence
+cacheable; the figure and refinement jobs need full transition graphs
+and always explore live.  Usage::
+
+    python -m repro batch --workers 2 --json report.json
+
+Job functions import their subject modules lazily so this module stays
+importable from ``repro.engine`` without dragging in the whole
+framework at startup.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def _job_litmus(use_cache: bool) -> Dict:
+    from repro.litmus.catalog import LITMUS_TESTS, run_litmus
+
+    rows = []
+    ok = True
+    for test in LITMUS_TESTS:
+        verdict = run_litmus(test, use_cache=use_cache)
+        ok &= verdict["verdict_ok"]
+        rows.append(
+            {
+                "name": verdict["name"],
+                "verdict_ok": verdict["verdict_ok"],
+                "states": verdict["states"],
+                "weak_observed": verdict["weak_observed"],
+                "cached": verdict["cached"],
+            }
+        )
+    return {"ok": ok, "detail": rows}
+
+
+def _job_figures() -> Dict:
+    from repro.figures.fig1 import EXPECTED_OUTCOMES as F1
+    from repro.figures.fig1 import fig1_program
+    from repro.figures.fig2 import EXPECTED_OUTCOMES as F2
+    from repro.figures.fig2 import fig2_program
+    from repro.figures.fig3 import fig3_outline
+    from repro.figures.fig7 import EXPECTED_OUTCOMES as F7
+    from repro.figures.fig7 import fig7_outline, fig7_program
+    from repro.figures.mp_outline import mp_outline
+    from repro.logic.owicki import check_proof_outline
+    from repro.semantics.explore import explore
+
+    rows = []
+
+    def check(name: str, passed: bool, measured: str) -> None:
+        rows.append({"check": name, "ok": bool(passed), "measured": measured})
+
+    out1 = explore(fig1_program()).terminal_locals(("2", "r2"))
+    check("figure-1", out1 == F1, repr(sorted(out1, key=repr)))
+    out2 = explore(fig2_program()).terminal_locals(("2", "r2"))
+    check("figure-2", out2 == F2, repr(sorted(out2, key=repr)))
+    r3 = check_proof_outline(fig3_outline())
+    check("figure-3-outline", r3.valid, f"{r3.obligations} obligations")
+    rmp = check_proof_outline(mp_outline())
+    check("mp-outline", rmp.valid, f"{rmp.obligations} obligations")
+    out7 = explore(fig7_program()).terminal_locals(
+        ("2", "rl"), ("2", "r1"), ("2", "r2")
+    )
+    check("figure-7", out7 == F7, repr(sorted(out7)))
+    r7 = check_proof_outline(fig7_outline())
+    check("lemma-4-outline", r7.valid, f"{r7.obligations} obligations")
+    return {"ok": all(r["ok"] for r in rows), "detail": rows}
+
+
+def _job_refine(impl: str) -> Dict:
+    from repro.toolkit import verify_lock_implementation
+
+    if impl == "seqlock":
+        from repro.impls.seqlock import SEQLOCK_VARS as lib_vars
+        from repro.impls.seqlock import seqlock_fill as fill
+    elif impl == "ticketlock":
+        from repro.impls.ticketlock import TICKETLOCK_VARS as lib_vars
+        from repro.impls.ticketlock import ticketlock_fill as fill
+    elif impl == "spinlock":
+        from repro.impls.spinlock import SPINLOCK_VARS as lib_vars
+        from repro.impls.spinlock import spinlock_fill as fill
+    else:  # pragma: no cover - guarded by JOB_NAMES
+        raise ValueError(f"unknown implementation: {impl}")
+
+    report = verify_lock_implementation(fill, lib_vars)
+    clients = [
+        {
+            "client": v.client,
+            "ok": v.ok,
+            "simulation_found": v.simulation.found,
+            "relation_size": v.simulation.relation_size,
+            "traces_ok": None if v.traces is None else bool(v.traces.refines),
+        }
+        for v in report.verdicts
+    ]
+    return {
+        "ok": report.ok,
+        "detail": {"implementation": report.implementation, "clients": clients},
+    }
+
+
+#: Registered job names, in default execution order.
+JOB_NAMES = (
+    "litmus",
+    "figures",
+    "refine-seqlock",
+    "refine-ticketlock",
+    "refine-spinlock",
+)
+
+
+@dataclass
+class JobResult:
+    """Verdict of one batch job."""
+
+    name: str
+    ok: bool
+    elapsed: float
+    detail: object = None
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "elapsed": round(self.elapsed, 3),
+            "detail": self.detail,
+            "error": self.error,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Aggregated verdicts of one batch run."""
+
+    jobs: List[JobResult] = field(default_factory=list)
+    workers: int = 1
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(j.ok for j in self.jobs)
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "workers": self.workers,
+            "elapsed": round(self.elapsed, 3),
+            "jobs": [j.to_dict() for j in self.jobs],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def describe(self) -> str:
+        lines = [f"{'job':20s} {'elapsed':>8s}  verdict"]
+        for j in self.jobs:
+            verdict = "OK" if j.ok else "FAIL"
+            if j.error:
+                verdict = f"ERROR ({j.error})"
+            lines.append(f"{j.name:20s} {j.elapsed:7.2f}s  {verdict}")
+        lines.append(
+            f"batch {'PASS' if self.ok else 'FAIL'} "
+            f"({len(self.jobs)} jobs, {self.workers} workers, "
+            f"{self.elapsed:.2f}s)"
+        )
+        return "\n".join(lines)
+
+
+def run_job(name: str, use_cache: bool = True) -> JobResult:
+    """Execute one named job, capturing failures as a verdict."""
+    if name not in JOB_NAMES:
+        raise ValueError(
+            f"unknown job {name!r}; available: {', '.join(JOB_NAMES)}"
+        )
+    start = time.perf_counter()
+    try:
+        if name == "litmus":
+            outcome = _job_litmus(use_cache)
+        elif name == "figures":
+            outcome = _job_figures()
+        else:
+            outcome = _job_refine(name.split("-", 1)[1])
+    except Exception as exc:  # a crashing job fails the batch, not the runner
+        return JobResult(
+            name=name,
+            ok=False,
+            elapsed=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return JobResult(
+        name=name,
+        ok=bool(outcome["ok"]),
+        elapsed=time.perf_counter() - start,
+        detail=outcome.get("detail"),
+    )
+
+
+def run_batch(
+    jobs: Optional[Sequence[str]] = None,
+    workers: int = 1,
+    use_cache: bool = True,
+    json_path: Optional[str] = None,
+) -> BatchReport:
+    """Run ``jobs`` (default: all registered) with ``workers`` processes.
+
+    ``workers == 1`` runs the jobs in-process, sequentially and
+    deterministically; otherwise the jobs are distributed over a process
+    pool.  When ``json_path`` is given the report is also written there.
+    """
+    names = list(jobs) if jobs is not None else list(JOB_NAMES)
+    for name in names:
+        if name not in JOB_NAMES:
+            raise ValueError(
+                f"unknown job {name!r}; available: {', '.join(JOB_NAMES)}"
+            )
+    start = time.perf_counter()
+    if workers > 1 and len(names) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.engine.parallel import _pool_context
+
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(names)),
+            mp_context=_pool_context(),
+        ) as pool:
+            results = list(pool.map(run_job, names, [use_cache] * len(names)))
+    else:
+        results = [run_job(name, use_cache) for name in names]
+    report = BatchReport(
+        jobs=results, workers=workers, elapsed=time.perf_counter() - start
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+    return report

@@ -1,0 +1,271 @@
+"""The exploration engine: strategy-driven enumeration behind one API.
+
+This is the subsystem the rest of the framework routes through.  The
+sequential loop generalises the original BFS in
+:mod:`repro.semantics.explore` (which is now a thin wrapper) with
+
+* pluggable frontier strategies (:mod:`repro.engine.strategy`);
+* an early-stop protocol — ``on_config`` may return ``True`` to halt
+  exploration as soon as a witness is found;
+* prompt truncation — once ``max_states`` is hit the loop bails out
+  instead of draining the queue, so the cap also bounds wall-clock time
+  (``edge_count``/``terminals`` are lower bounds when ``truncated``).
+
+:class:`ExplorationEngine` bundles a strategy, a worker count and an
+optional persistent result cache:
+
+* ``engine.explore(program)`` — full :class:`ExploreResult`, computed
+  in-process (``workers == 1``) or by the sharded multiprocess explorer
+  (:mod:`repro.engine.parallel`);
+* ``engine.run(program)`` — cache-aware :class:`ExploreSummary`: on a
+  warm cache a repeated verification performs zero re-explorations.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.engine.result import ExploreResult, ExploreSummary, summarise
+from repro.engine.strategy import make_frontier
+
+if TYPE_CHECKING:
+    from repro.lang.program import Program
+    from repro.semantics.config import Config
+
+# NOTE: the semantics modules are imported inside the functions below
+# (once per exploration, a sys.modules lookup thereafter).  The engine
+# package must stay import-time independent of repro.semantics because
+# repro.semantics.explore imports this module: a module-level import in
+# either direction deadlocks the package initialisation order.
+
+#: Default safety cap on explored configurations.
+DEFAULT_MAX_STATES = 500_000
+
+
+def key_function(
+    program: "Program", canonicalise: bool
+) -> Callable[["Config"], Tuple]:
+    """The state-identification function used by every engine backend."""
+    if canonicalise:
+        from repro.semantics.canon import canonical_key
+
+        return lambda cfg: canonical_key(program, cfg)
+    return _raw_key
+
+
+def explore_sequential(
+    program: "Program",
+    max_states: int = DEFAULT_MAX_STATES,
+    collect_edges: bool = False,
+    canonicalise: bool = True,
+    check_invariants: bool = False,
+    on_config: Optional[Callable[["Config"], Optional[bool]]] = None,
+    strategy="bfs",
+) -> ExploreResult:
+    """Enumerate the reachable configurations of ``program`` in-process.
+
+    ``on_config`` is invoked on every configuration as it is expanded
+    (the initial one included); returning a truthy value halts the
+    exploration immediately and marks the result ``stopped``.
+    """
+    from repro.semantics.config import initial_config
+    from repro.semantics.step import successors
+
+    start = time.perf_counter()
+    init = initial_config(program)
+    keyf = key_function(program, canonicalise)
+
+    init_key = keyf(init)
+    configs: Dict[Tuple, Config] = {init_key: init}
+    edges: Optional[Dict[Tuple, List]] = {} if collect_edges else None
+    terminals: List[Config] = []
+    stuck: List[Config] = []
+    edge_count = 0
+    truncated = False
+    stopped = False
+
+    frontier = make_frontier(strategy)
+    frontier.push(init_key, init)
+    while frontier:
+        key, cfg = frontier.pop()
+        if check_invariants:
+            cfg.gamma.check_invariants(program.tids)
+            cfg.beta.check_invariants(program.tids)
+        if on_config is not None and on_config(cfg):
+            stopped = True
+            break
+        succs = successors(program, cfg)
+        if collect_edges:
+            edges[key] = []
+        if not succs:
+            if cfg.is_terminal():
+                terminals.append(cfg)
+            else:
+                stuck.append(cfg)
+            continue
+        for tr in succs:
+            edge_count += 1
+            tkey = keyf(tr.target)
+            if collect_edges:
+                edges[key].append((tr.tid, tr.component, tr.action, tkey))
+            if tkey not in configs:
+                if len(configs) >= max_states:
+                    truncated = True
+                    continue
+                configs[tkey] = tr.target
+                frontier.push(tkey, tr.target)
+        if truncated:
+            # Bail out promptly: the cap bounds work done, not just
+            # states recorded.  Counts are lower bounds from here on.
+            break
+
+    return ExploreResult(
+        program=program,
+        initial=init,
+        initial_key=init_key,
+        configs=configs,
+        terminals=terminals,
+        stuck=stuck,
+        edge_count=edge_count,
+        truncated=truncated,
+        elapsed=time.perf_counter() - start,
+        edges=edges,
+        stopped=stopped,
+    )
+
+
+def _raw_key(cfg: Config) -> Tuple:
+    """Structural identity without timestamp normalisation (ablation)."""
+    return (
+        tuple(sorted(cfg.cmds.items(), key=lambda kv: kv[0])),
+        tuple(sorted((t, ls.items_sorted()) for t, ls in cfg.locals.items())),
+        _raw_state(cfg.gamma),
+        _raw_state(cfg.beta),
+    )
+
+
+def _raw_state(state) -> Tuple:
+    return (
+        state.ops,
+        tuple(sorted(state.tview.items(), key=lambda kv: repr(kv[0]))),
+        tuple(sorted(state.mview.items(), key=lambda kv: repr(kv[0]))),
+        state.cvd,
+    )
+
+
+class ExplorationEngine:
+    """A configured exploration backend: strategy × workers × cache.
+
+    Parameters
+    ----------
+    strategy:
+        Frontier policy for sequential exploration — ``"bfs"`` (default),
+        ``"dfs"``, ``"swarm[:seed]"`` or anything
+        :func:`repro.engine.strategy.make_frontier` accepts.  The
+        multiprocess backend is inherently level-synchronous BFS, so
+        ``workers > 1`` requires the default strategy.
+    workers:
+        Number of worker processes; ``1`` (default) explores in-process
+        — the deterministic fallback.
+    cache:
+        Optional :class:`repro.engine.cache.ResultCache`; when set,
+        :meth:`run` serves repeated explorations from disk.
+    max_states:
+        Default safety cap, overridable per call.
+    """
+
+    def __init__(
+        self,
+        strategy="bfs",
+        workers: int = 1,
+        cache=None,
+        max_states: int = DEFAULT_MAX_STATES,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and strategy != "bfs":
+            raise ValueError(
+                "the sharded parallel explorer is level-synchronous BFS; "
+                f"strategy {strategy!r} requires workers=1"
+            )
+        make_frontier(strategy)  # fail fast on a bad spec
+        self.strategy = strategy
+        self.workers = workers
+        self.cache = cache
+        self.max_states = max_states
+        #: Number of live (non-cached) explorations this engine ran.
+        self.explorations = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplorationEngine(strategy={self.strategy!r}, "
+            f"workers={self.workers}, cache={'on' if self.cache else 'off'})"
+        )
+
+    # -- full exploration ---------------------------------------------------
+    def explore(
+        self,
+        program: Program,
+        max_states: Optional[int] = None,
+        collect_edges: bool = False,
+        canonicalise: bool = True,
+        check_invariants: bool = False,
+        on_config: Optional[Callable[[Config], Optional[bool]]] = None,
+    ) -> ExploreResult:
+        """Run one exploration, honouring this engine's configuration."""
+        self.explorations += 1
+        cap = self.max_states if max_states is None else max_states
+        if self.workers > 1:
+            from repro.engine.parallel import explore_parallel
+
+            return explore_parallel(
+                program,
+                workers=self.workers,
+                max_states=cap,
+                collect_edges=collect_edges,
+                canonicalise=canonicalise,
+                check_invariants=check_invariants,
+                on_config=on_config,
+            )
+        return explore_sequential(
+            program,
+            max_states=cap,
+            collect_edges=collect_edges,
+            canonicalise=canonicalise,
+            check_invariants=check_invariants,
+            on_config=on_config,
+            strategy=self.strategy,
+        )
+
+    # -- cache-aware verification -------------------------------------------
+    def run(
+        self,
+        program: Program,
+        max_states: Optional[int] = None,
+        canonicalise: bool = True,
+    ) -> ExploreSummary:
+        """Explore (or recall) ``program`` and return the result summary.
+
+        With a cache configured, a warm entry is returned directly —
+        zero re-exploration; otherwise the program is explored and the
+        summary persisted under its stable fingerprint.
+        """
+        cap = self.max_states if max_states is None else max_states
+        key = None
+        if self.cache is not None:
+            from repro.engine.fingerprint import cache_key
+
+            key = cache_key(program, max_states=cap, canonicalise=canonicalise)
+            hit = self.cache.get(key)
+            # Truncated summaries depend on visit order (strategy and
+            # worker count, which the key deliberately omits because
+            # complete results don't) — never serve or store them.
+            if hit is not None and not hit.truncated:
+                return hit
+        summary = summarise(
+            self.explore(program, max_states=cap, canonicalise=canonicalise)
+        )
+        if self.cache is not None and not summary.truncated:
+            self.cache.put(key, summary)
+        return summary

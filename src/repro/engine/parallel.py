@@ -1,0 +1,240 @@
+"""Sharded multiprocess exploration (the engine's parallel backend).
+
+The state space is explored level-synchronously: each round, the current
+frontier is partitioned by canonical-key digest into one shard per
+worker process, the workers independently re-derive every shard
+configuration's successors (programs and configurations are picklable
+immutable dataclasses, so no shared state is needed), and the master
+merges the per-shard successor batches into the global configuration
+map, which also dedups configurations discovered by several shards at
+once.
+
+Two representation choices keep the master's serial section — the
+scalability bottleneck — down to dict operations:
+
+* State identity crosses the process boundary as a 16-byte *stable
+  digest* of the canonical key (:func:`repro.engine.fingerprint.
+  stable_digest`) rather than the multi-kilobyte structured key itself.
+  Digests are ``PYTHONHASHSEED``-independent, so dedup is consistent
+  across worker processes under both fork and spawn.
+* Configurations transit the master as *opaque pickled bytes*: a worker
+  that discovers a state pickles it once, the master routes the bytes
+  to the owning shard without ever deserialising them, and the owning
+  worker unpickles once to expand it.  Objects are materialised
+  master-side only at the end (and for ``on_config`` callbacks).
+
+Consequently ``configs``/``edges``/``initial_key`` of a parallel result
+are keyed by digests — opaque identifiers, exactly how every consumer
+(refinement, Owicki–Gries, the tests) treats exploration keys — while
+``state_count``, ``edge_count``, terminal/stuck configurations and
+terminal outcomes are bit-identical to sequential BFS on non-truncated
+runs, because visited-set exploration is order-insensitive.
+
+``workers == 1`` never reaches this module — the engine falls back to
+the in-process sequential loop, which is the deterministic reference.
+
+Each call builds its own pool (workers are initialised with the
+program, so a pool is per-exploration by construction).  Under fork
+that costs milliseconds; under spawn, batching many small explorations
+through one parallel engine pays a per-call re-import — prefer
+``workers=1`` for small state spaces and save the sharded backend for
+the large ones, where it matters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.engine.fingerprint import stable_digest
+from repro.engine.result import ExploreResult
+
+if TYPE_CHECKING:
+    from repro.lang.program import Program
+    from repro.semantics.config import Config
+
+#: Per-worker state, installed once by the pool initializer so each
+#: frontier round ships only configurations, not the program.
+_WORKER: dict = {}
+
+
+def _init_worker(
+    program: "Program",
+    canonicalise: bool,
+    check_invariants: bool,
+    collect_edges: bool,
+) -> None:
+    from repro.engine.core import key_function
+
+    _WORKER["program"] = program
+    _WORKER["keyf"] = key_function(program, canonicalise)
+    _WORKER["check_invariants"] = check_invariants
+    _WORKER["collect_edges"] = collect_edges
+
+
+def _expand_shard(shard: List[bytes]) -> List[Tuple]:
+    """Expand one frontier shard of pickled configurations.
+
+    Returns, positionally aligned with ``shard``, tuples
+    ``(is_terminal, edge_count, edge_labels, targets)`` where
+    ``targets`` holds each distinct successor exactly once as
+    ``(digest, pickled configuration)`` (placement nondeterminism
+    produces many transitions into the same canonical state —
+    deduplicating worker-side keeps the result pipe lean) and
+    ``edge_labels`` is None unless the caller asked for the labelled
+    transition graph.
+    """
+    from repro.semantics.step import successors
+
+    program: "Program" = _WORKER["program"]
+    keyf = _WORKER["keyf"]
+    check_invariants: bool = _WORKER["check_invariants"]
+    collect_edges: bool = _WORKER["collect_edges"]
+    out = []
+    for blob in shard:
+        cfg: "Config" = pickle.loads(blob)
+        if check_invariants:
+            cfg.gamma.check_invariants(program.tids)
+            cfg.beta.check_invariants(program.tids)
+        succs = successors(program, cfg)
+        targets: List[Tuple[bytes, bytes]] = []
+        labels = [] if collect_edges else None
+        key_digests: Dict[Tuple, bytes] = {}  # dedup before digesting
+        for tr in succs:
+            key = keyf(tr.target)
+            digest = key_digests.get(key)
+            if digest is None:
+                digest = stable_digest(key)
+                key_digests[key] = digest
+                targets.append(
+                    (digest, pickle.dumps(tr.target, pickle.HIGHEST_PROTOCOL))
+                )
+            if collect_edges:
+                labels.append((tr.tid, tr.component, tr.action, digest))
+        out.append((cfg.is_terminal(), len(succs), labels, targets))
+    return out
+
+
+def _pool_context():
+    """Prefer fork (cheap, no re-import) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _shard_of(digest: bytes, workers: int) -> int:
+    """Deterministic shard assignment from the key digest."""
+    return int.from_bytes(digest[:8], "big") % workers
+
+
+def explore_parallel(
+    program: "Program",
+    workers: int,
+    max_states: int,
+    collect_edges: bool = False,
+    canonicalise: bool = True,
+    check_invariants: bool = False,
+    on_config: Optional[Callable[["Config"], Optional[bool]]] = None,
+) -> ExploreResult:
+    """Explore ``program`` with ``workers`` processes, sharding the
+    frontier by canonical-key digest each round."""
+    from repro.engine.core import explore_sequential, key_function
+
+    if workers <= 1:
+        return explore_sequential(
+            program,
+            max_states=max_states,
+            collect_edges=collect_edges,
+            canonicalise=canonicalise,
+            check_invariants=check_invariants,
+            on_config=on_config,
+        )
+
+    from repro.semantics.config import initial_config
+
+    start = time.perf_counter()
+    keyf = key_function(program, canonicalise)
+    init = initial_config(program)
+    init_key = stable_digest(keyf(init))
+    init_blob = pickle.dumps(init, pickle.HIGHEST_PROTOCOL)
+
+    blobs: Dict[bytes, bytes] = {init_key: init_blob}
+    edges: Optional[Dict[bytes, List]] = {} if collect_edges else None
+    terminal_keys: List[bytes] = []
+    stuck_keys: List[bytes] = []
+    edge_count = 0
+    truncated = False
+    stopped = False
+
+    frontier: List[Tuple[bytes, bytes]] = [(init_key, init_blob)]
+    if on_config is not None and on_config(init):
+        frontier = []
+        stopped = True
+
+    ctx = _pool_context()
+    pool = ctx.Pool(
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(program, canonicalise, check_invariants, collect_edges),
+    )
+    try:
+        while frontier and not stopped and not truncated:
+            shards: List[List[Tuple[bytes, bytes]]] = [
+                [] for _ in range(workers)
+            ]
+            for digest, blob in frontier:
+                shards[_shard_of(digest, workers)].append((digest, blob))
+            occupied = [s for s in shards if s]
+            batches = pool.map(
+                _expand_shard, [[blob for _, blob in s] for s in occupied]
+            )
+            frontier = []
+            for shard, batch in zip(occupied, batches):
+                for (digest, _blob), row in zip(shard, batch):
+                    is_terminal, n_edges, labels, targets = row
+                    edge_count += n_edges
+                    if collect_edges:
+                        edges[digest] = labels
+                    if not targets:
+                        (terminal_keys if is_terminal else stuck_keys).append(
+                            digest
+                        )
+                        continue
+                    for tdigest, tblob in targets:
+                        if tdigest in blobs:
+                            continue
+                        if len(blobs) >= max_states:
+                            truncated = True
+                            continue
+                        blobs[tdigest] = tblob
+                        frontier.append((tdigest, tblob))
+                        if on_config is not None and not stopped:
+                            if on_config(pickle.loads(tblob)):
+                                stopped = True
+    finally:
+        pool.close()
+        pool.join()
+
+    # Materialise the configuration map once, master-side; keep the
+    # original initial object so `initial is configs[initial_key]`.
+    configs: Dict[bytes, Config] = {
+        digest: pickle.loads(blob) for digest, blob in blobs.items()
+    }
+    configs[init_key] = init
+
+    return ExploreResult(
+        program=program,
+        initial=init,
+        initial_key=init_key,
+        configs=configs,
+        terminals=[configs[d] for d in terminal_keys],
+        stuck=[configs[d] for d in stuck_keys],
+        edge_count=edge_count,
+        truncated=truncated,
+        elapsed=time.perf_counter() - start,
+        edges=edges,
+        stopped=stopped,
+    )

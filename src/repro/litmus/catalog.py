@@ -26,12 +26,13 @@ relaxed/release/acquire fragment:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
+from repro.engine.core import ExplorationEngine
+from repro.engine.result import summarise
 from repro.lang import ast as A
 from repro.lang.expr import Lit, Reg
 from repro.lang.program import Program, Thread
-from repro.semantics.explore import explore
 
 
 @dataclass(frozen=True)
@@ -47,10 +48,32 @@ class LitmusTest:
     description: str = ""
 
 
-def run_litmus(test: LitmusTest, max_states: int = 500_000) -> Dict:
-    """Execute a litmus test exhaustively; return verdicts and outcomes."""
-    result = explore(test.build(), max_states=max_states)
-    outcomes = result.terminal_locals(*test.regs)
+def run_litmus(
+    test: LitmusTest,
+    max_states: int = 500_000,
+    engine: Optional[ExplorationEngine] = None,
+    use_cache: bool = False,
+) -> Dict:
+    """Execute a litmus test exhaustively; return verdicts and outcomes.
+
+    With the default arguments this is one sequential in-process
+    exploration.  Pass an :class:`~repro.engine.core.ExplorationEngine`
+    to pick strategy/workers, and/or ``use_cache=True`` to serve
+    repeated runs from the engine's persistent result cache (the CLI's
+    default engine is used when caching is requested without an engine).
+    """
+    if engine is None:
+        if use_cache:
+            from repro.engine import default_engine
+
+            engine = default_engine()
+        else:
+            engine = ExplorationEngine()
+    if use_cache and engine.cache is not None:
+        summary = engine.run(test.build(), max_states=max_states)
+    else:
+        summary = summarise(engine.explore(test.build(), max_states=max_states))
+    outcomes = summary.terminal_locals(*test.regs)
     weak_observed = bool(outcomes & test.weak)
     return {
         "name": test.name,
@@ -61,7 +84,8 @@ def run_litmus(test: LitmusTest, max_states: int = 500_000) -> Dict:
         "weak_allowed": test.weak_allowed,
         "verdict_ok": weak_observed == test.weak_allowed
         and outcomes == set(test.allowed),
-        "states": result.state_count,
+        "states": summary.state_count,
+        "cached": summary.cached,
     }
 
 

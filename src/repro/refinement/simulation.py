@@ -59,8 +59,13 @@ class _Side:
     pcs: Dict[Tuple, Tuple]
 
 
-def _prepare(program: Program, max_states: int) -> _Side:
-    result = explore(program, max_states=max_states, collect_edges=True)
+def _prepare(program: Program, max_states: int, engine=None) -> _Side:
+    if engine is not None:
+        result = engine.explore(
+            program, max_states=max_states, collect_edges=True
+        )
+    else:
+        result = explore(program, max_states=max_states, collect_edges=True)
     if result.truncated:
         raise VerificationError(
             "state space truncated during simulation; raise max_states"
@@ -80,15 +85,18 @@ def find_forward_simulation(
     concrete: Program,
     abstract: Program,
     max_states: int = 200_000,
+    engine=None,
 ) -> SimulationResult:
     """Solve the simulation game between ``C[CO]`` and ``C[AO]``.
 
     Both programs must be instantiations of the same client template
     (same thread ids, same client variables, same statement labels), as
-    in Definition 7.
+    in Definition 7.  ``engine`` optionally routes the two explorations
+    through a configured :class:`repro.engine.ExplorationEngine` (e.g.
+    the sharded multiprocess backend for large implementations).
     """
-    conc = _prepare(concrete, max_states)
-    abst = _prepare(abstract, max_states)
+    conc = _prepare(concrete, max_states, engine)
+    abst = _prepare(abstract, max_states, engine)
 
     def good(akey: Tuple, ckey: Tuple) -> bool:
         if conc.pcs[ckey] != abst.pcs[akey]:

@@ -100,15 +100,22 @@ def _tarjan_scc(nodes: List, edges: Dict) -> Dict:
 
 
 def client_traces(
-    program: Program, max_states: int = 200_000
+    program: Program, max_states: int = 200_000, engine=None
 ) -> Tuple[Set[Tuple[ClientState, ...]], bool]:
     """Complete stutter-free client traces of ``program``.
 
     A trace is *complete* when its execution ends at a configuration
     without successors (terminal or stuck) or enters a bottom SCC.
-    Returns ``(traces, cyclic_client_change)``.
+    Returns ``(traces, cyclic_client_change)``.  ``engine`` optionally
+    routes exploration through a configured
+    :class:`repro.engine.ExplorationEngine`.
     """
-    result = explore(program, max_states=max_states, collect_edges=True)
+    if engine is not None:
+        result = engine.explore(
+            program, max_states=max_states, collect_edges=True
+        )
+    else:
+        result = explore(program, max_states=max_states, collect_edges=True)
     if result.truncated:
         from repro.util.errors import VerificationError
 
@@ -181,6 +188,7 @@ def check_program_refinement(
     concrete: Program,
     abstract: Program,
     max_states: int = 200_000,
+    engine=None,
 ) -> RefinementResult:
     """Definition 6/7: every stutter-free concrete client trace is
     pointwise refined by some abstract client trace.
@@ -190,8 +198,12 @@ def check_program_refinement(
     traces follows (a prefix of a matched trace is matched by the
     corresponding prefix).
     """
-    conc_traces, conc_cyclic = client_traces(concrete, max_states=max_states)
-    abs_traces, abs_cyclic = client_traces(abstract, max_states=max_states)
+    conc_traces, conc_cyclic = client_traces(
+        concrete, max_states=max_states, engine=engine
+    )
+    abs_traces, abs_cyclic = client_traces(
+        abstract, max_states=max_states, engine=engine
+    )
     abs_prefixes = prefix_closure(abs_traces)
 
     by_len: Dict[int, List[Tuple[ClientState, ...]]] = {}

@@ -1,60 +1,35 @@
-"""Exhaustive state-space exploration.
+"""Exhaustive state-space exploration (compatibility wrappers).
 
 Breadth-first enumeration of the reachable configuration space under the
-combined semantics, memoised by canonical key.  This is the verification
-engine: postconditions are checked on terminal configurations, safety
-properties on every reachable configuration, and the refinement and
-Owicki–Gries checkers both consume the graphs produced here.
-
-Following the optimisation guide's workflow (make it work, make it
-reliable, then profile), the loop is a plain deque-driven BFS; the two
-measured hot spots — successor generation and canonical encoding — are
-kept allocation-lean rather than micro-optimised further.
+combined semantics, memoised by canonical key.  The loop itself now
+lives in the exploration engine (:mod:`repro.engine`): this module keeps
+the historical call surface — :func:`explore`, :func:`reachable`,
+:func:`assert_invariant`, :func:`final_outcomes` and
+:class:`ExploreResult` — as thin wrappers over the engine's sequential
+BFS backend, so existing call sites and tests are untouched while new
+code can pick strategies, worker processes and the persistent result
+cache through :class:`repro.engine.ExplorationEngine`.
 """
 
 from __future__ import annotations
 
-import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
+# Re-exported for backwards compatibility: ExploreResult historically
+# lived here, and the ablation benchmarks reach for _raw_key.
+from repro.engine.core import _raw_key, _raw_state, explore_sequential
+from repro.engine.result import ExploreResult
 from repro.lang.program import Program
-from repro.semantics.canon import canonical_key
-from repro.semantics.config import Config, initial_config
-from repro.semantics.step import Transition, successors
+from repro.semantics.config import Config
 from repro.util.errors import VerificationError
 
-
-@dataclass
-class ExploreResult:
-    """Everything the explorer learned about a program."""
-
-    program: Program
-    initial: Config
-    initial_key: Tuple
-    configs: Dict[Tuple, Config]
-    terminals: List[Config]
-    stuck: List[Config]
-    edge_count: int
-    truncated: bool
-    elapsed: float
-    edges: Optional[Dict[Tuple, List[Tuple[str, str, object, Tuple]]]] = None
-
-    @property
-    def state_count(self) -> int:
-        return len(self.configs)
-
-    def terminal_locals(self, *regs: Tuple[str, str]) -> set:
-        """Distinct terminal register valuations.
-
-        ``regs`` is a sequence of ``(tid, reg)`` pairs; the result is the
-        set of value tuples those registers take in terminal states.
-        """
-        out = set()
-        for cfg in self.terminals:
-            out.add(tuple(cfg.local(t, r) for t, r in regs))
-        return out
+__all__ = [
+    "ExploreResult",
+    "assert_invariant",
+    "explore",
+    "final_outcomes",
+    "reachable",
+]
 
 
 def explore(
@@ -63,14 +38,16 @@ def explore(
     collect_edges: bool = False,
     canonicalise: bool = True,
     check_invariants: bool = False,
-    on_config: Optional[Callable[[Config], None]] = None,
+    on_config: Optional[Callable[[Config], Optional[bool]]] = None,
 ) -> ExploreResult:
     """Enumerate every reachable configuration of ``program``.
 
     Parameters
     ----------
     max_states:
-        Safety cap; exceeding it marks the result ``truncated``.
+        Safety cap; exceeding it marks the result ``truncated`` and the
+        loop bails out promptly, so ``edge_count``, ``terminals`` and
+        ``stuck`` are *lower bounds* on a truncated result.
     collect_edges:
         Record the labelled transition graph (needed by the refinement
         and Owicki–Gries checkers).
@@ -81,82 +58,19 @@ def explore(
     check_invariants:
         Assert component-state coherence at every configuration
         (diagnostic mode used by the test-suite).
+    on_config:
+        Callback invoked on every configuration as it is expanded.
+        Returning a truthy value halts exploration immediately (the
+        result is then marked ``stopped``) — used by :func:`reachable`
+        to stop at the first witness.
     """
-    start = time.perf_counter()
-    init = initial_config(program)
-    keyf: Callable[[Config], Tuple]
-    if canonicalise:
-        keyf = lambda cfg: canonical_key(program, cfg)  # noqa: E731
-    else:
-        keyf = lambda cfg: _raw_key(cfg)  # noqa: E731
-
-    init_key = keyf(init)
-    configs: Dict[Tuple, Config] = {init_key: init}
-    edges: Optional[Dict[Tuple, List]] = {} if collect_edges else None
-    terminals: List[Config] = []
-    stuck: List[Config] = []
-    edge_count = 0
-    truncated = False
-
-    queue = deque([(init_key, init)])
-    while queue:
-        key, cfg = queue.popleft()
-        if check_invariants:
-            cfg.gamma.check_invariants(program.tids)
-            cfg.beta.check_invariants(program.tids)
-        if on_config is not None:
-            on_config(cfg)
-        succs = successors(program, cfg)
-        if collect_edges:
-            edges[key] = []
-        if not succs:
-            if cfg.is_terminal():
-                terminals.append(cfg)
-            else:
-                stuck.append(cfg)
-            continue
-        for tr in succs:
-            edge_count += 1
-            tkey = keyf(tr.target)
-            if collect_edges:
-                edges[key].append((tr.tid, tr.component, tr.action, tkey))
-            if tkey not in configs:
-                if len(configs) >= max_states:
-                    truncated = True
-                    continue
-                configs[tkey] = tr.target
-                queue.append((tkey, tr.target))
-
-    return ExploreResult(
-        program=program,
-        initial=init,
-        initial_key=init_key,
-        configs=configs,
-        terminals=terminals,
-        stuck=stuck,
-        edge_count=edge_count,
-        truncated=truncated,
-        elapsed=time.perf_counter() - start,
-        edges=edges,
-    )
-
-
-def _raw_key(cfg: Config) -> Tuple:
-    """Structural identity without timestamp normalisation (ablation)."""
-    return (
-        tuple(sorted(cfg.cmds.items(), key=lambda kv: kv[0])),
-        tuple(sorted((t, ls.items_sorted()) for t, ls in cfg.locals.items())),
-        _raw_state(cfg.gamma),
-        _raw_state(cfg.beta),
-    )
-
-
-def _raw_state(state) -> Tuple:
-    return (
-        state.ops,
-        tuple(sorted(state.tview.items(), key=lambda kv: repr(kv[0]))),
-        tuple(sorted(state.mview.items(), key=lambda kv: repr(kv[0]))),
-        state.cvd,
+    return explore_sequential(
+        program,
+        max_states=max_states,
+        collect_edges=collect_edges,
+        canonicalise=canonicalise,
+        check_invariants=check_invariants,
+        on_config=on_config,
     )
 
 
@@ -165,12 +79,18 @@ def reachable(
     predicate: Callable[[Config], bool],
     max_states: int = 500_000,
 ) -> Optional[Config]:
-    """Return a reachable configuration satisfying ``predicate`` or None."""
-    witness: List[Config] = []
+    """Return a reachable configuration satisfying ``predicate`` or None.
 
-    def probe(cfg: Config) -> None:
-        if not witness and predicate(cfg):
+    Exploration halts at the first witness (early-stop) rather than
+    enumerating the rest of the state space.
+    """
+    witness: list = []
+
+    def probe(cfg: Config) -> bool:
+        if predicate(cfg):
             witness.append(cfg)
+            return True
+        return False
 
     explore(program, max_states=max_states, on_config=probe)
     return witness[0] if witness else None
@@ -183,15 +103,23 @@ def assert_invariant(
 ) -> ExploreResult:
     """Check a safety property on every reachable configuration.
 
-    Raises :class:`VerificationError` with the offending configuration.
+    Raises :class:`VerificationError` with the offending configuration;
+    the search stops at the first violation.
     """
-    def probe(cfg: Config) -> None:
-        if not invariant(cfg):
-            raise VerificationError(
-                "invariant violated", counterexample=cfg
-            )
+    violation: list = []
 
-    return explore(program, max_states=max_states, on_config=probe)
+    def probe(cfg: Config) -> bool:
+        if not invariant(cfg):
+            violation.append(cfg)
+            return True
+        return False
+
+    result = explore(program, max_states=max_states, on_config=probe)
+    if violation:
+        raise VerificationError(
+            "invariant violated", counterexample=violation[0]
+        )
+    return result
 
 
 def final_outcomes(

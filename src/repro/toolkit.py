@@ -85,6 +85,7 @@ def verify_lock_implementation(
     battery: Optional[Sequence[Tuple[str, ClientBuilder, dict]]] = None,
     check_traces: bool = True,
     max_states: int = 200_000,
+    engine=None,
 ) -> RefinementReport:
     """Verify a lock implementation against the abstract lock.
 
@@ -106,6 +107,11 @@ def verify_lock_implementation(
     battery:
         ``(name, builder, kwargs)`` triples; defaults to
         :func:`default_lock_battery`.
+    engine:
+        Optional :class:`repro.engine.ExplorationEngine` through which
+        every state-space exploration of the battery is routed (pick a
+        strategy or the sharded multiprocess backend for large
+        implementations); None keeps the sequential in-process default.
     """
     if object_factory is None:
         from repro.objects.lock import AbstractLock
@@ -119,11 +125,13 @@ def verify_lock_implementation(
         afill, objs = abstract_fill(object_factory)
         abstract = builder(afill, objects=objs, **kwargs)
         concrete = builder(fill, lib_vars=dict(lib_vars), **kwargs)
-        sim = find_forward_simulation(concrete, abstract, max_states=max_states)
+        sim = find_forward_simulation(
+            concrete, abstract, max_states=max_states, engine=engine
+        )
         traces = None
         if check_traces:
             traces = check_program_refinement(
-                concrete, abstract, max_states=max_states
+                concrete, abstract, max_states=max_states, engine=engine
             )
         report.verdicts.append(
             ClientVerdict(client=client_name, simulation=sim, traces=traces)

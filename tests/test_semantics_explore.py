@@ -53,6 +53,30 @@ class TestExplore:
         explore(mp_relaxed(), on_config=seen.append)
         assert len(seen) == explore(mp_relaxed()).state_count
 
+    def test_on_config_early_stop(self):
+        # Returning True from the callback halts exploration promptly.
+        full = explore(mp_relaxed())
+        seen = []
+
+        def probe(cfg):
+            seen.append(cfg)
+            return len(seen) >= 3
+
+        r = explore(mp_relaxed(), on_config=probe)
+        assert r.stopped
+        assert len(seen) == 3
+        assert r.state_count < full.state_count
+
+    def test_truncation_bails_promptly(self):
+        # Once the cap is hit, the queue must not be drained: the edge
+        # count of a truncated run stays a (strict) lower bound of the
+        # full run's.
+        full = explore(mp_relaxed())
+        r = explore(mp_relaxed(), max_states=3)
+        assert r.truncated
+        assert r.state_count <= 3
+        assert r.edge_count < full.edge_count
+
 
 class TestDeadlockDetection:
     def test_double_acquire_deadlocks(self):
