@@ -25,11 +25,21 @@ if TYPE_CHECKING:
 
 #: Cache-key salt tied to the semantics' behaviour.  Bump on any change
 #: to the transition rules, canonicalisation or result summarisation.
-SEMANTICS_VERSION = "rc11-rar-1"
+#: rc11-rar-2: indexed component states — rank-from-index canonical
+#: encoding (structural mview ordering, integer ranks) and structural
+#: sort keys in the program encoding below.
+SEMANTICS_VERSION = "rc11-rar-2"
 
 
 def _encode(obj) -> tuple:
-    """Lower ``obj`` to a deterministic, order-independent pure-data tree."""
+    """Lower ``obj`` to a deterministic, order-independent pure-data tree.
+
+    Every node is a tuple whose first element is a string tag (or a
+    dotted qualified class name), and same-tagged nodes carry same-typed
+    fields, so encoded trees compare with plain tuple ordering — the
+    sorts below are structural, no ``repr`` serialisation of whole
+    subtrees.
+    """
     if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
         return ("lit", type(obj).__name__, repr(obj))
     if isinstance(obj, Fraction):
@@ -46,15 +56,10 @@ def _encode(obj) -> tuple:
     if isinstance(obj, Mapping):
         return (
             "map",
-            tuple(
-                sorted(
-                    ((_encode(k), _encode(v)) for k, v in obj.items()),
-                    key=repr,
-                )
-            ),
+            tuple(sorted((_encode(k), _encode(v)) for k, v in obj.items())),
         )
     if isinstance(obj, (set, frozenset)):
-        return ("set", tuple(sorted((_encode(x) for x in obj), key=repr)))
+        return ("set", tuple(sorted(_encode(x) for x in obj)))
     if isinstance(obj, (tuple, list)):
         return ("seq", tuple(_encode(x) for x in obj))
     # Plain objects (e.g. abstract object specs): identity is their class

@@ -13,9 +13,9 @@ which are unique per component.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import NamedTuple, Optional, Tuple
+from typing import Optional
 
 from repro.lang.expr import Value
 
@@ -41,6 +41,12 @@ class Action:
       argument/element value, ``index`` the per-object operation index
       (the lock's "version"), ``sync`` whether the action synchronises
       (membership of the paper's ``Sync`` set).
+
+    Actions are immutable and hashed constantly (state sets, rank
+    tables, canonical keys), so the hash is computed once and cached.
+    The cache never crosses a pickle boundary: string hashing is
+    per-process (``PYTHONHASHSEED``), and the sharded explorer ships
+    configurations between processes.
     """
 
     kind: str
@@ -51,6 +57,33 @@ class Action:
     method: Optional[str] = None
     index: Optional[int] = None
     sync: bool = False
+
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(
+                (
+                    self.kind,
+                    self.var,
+                    self.tid,
+                    self.val,
+                    self.rdval,
+                    self.method,
+                    self.index,
+                    self.sync,
+                )
+            )
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        for k, v in state.items():
+            object.__setattr__(self, k, v)
 
     def __repr__(self) -> str:  # compact, used in counterexample dumps
         if self.kind == METH:
@@ -66,11 +99,42 @@ class Action:
         return f"{self.kind}({self.var},{self.rdval!r}->{self.val!r}){t}"
 
 
-class Op(NamedTuple):
-    """A timestamped operation ``(a, q) ∈ Act × Q``."""
+class Op:
+    """A timestamped operation ``(a, q) ∈ Act × Q``.
 
-    act: Action
-    ts: Fraction
+    Value-equal by ``(act, ts)``.  Operations are interned throughout the
+    state model (``ops`` sets, view maps, rank tables), so the hash —
+    which reaches a :class:`~fractions.Fraction` modular inverse — is
+    computed once per operation and cached.  Like :class:`Action`, the
+    cached hash is dropped on pickling (it is process-specific).
+    """
+
+    __slots__ = ("act", "ts", "_hash")
+
+    def __init__(self, act: Action, ts: Fraction) -> None:
+        self.act = act
+        self.ts = ts
+        self._hash: Optional[int] = None
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = self._hash = hash((self.act, self.ts))
+        return h
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Op):
+            return self.ts == other.ts and self.act == other.act
+        return NotImplemented
+
+    def __getstate__(self):
+        return (self.act, self.ts)
+
+    def __setstate__(self, state) -> None:
+        self.act, self.ts = state
+        self._hash = None
 
     def __repr__(self) -> str:
         return f"⟨{self.act!r}@{self.ts}⟩"

@@ -28,10 +28,12 @@ from repro.memory.actions import (
 )
 from repro.memory.state import ComponentState
 from repro.memory.views import merge_views, view_union
-from repro.util.rationals import fresh_after
 
 #: One memory step: (action, op read-from or placed-after, γ', β').
 MemStep = Tuple[Action, Op, ComponentState, ComponentState]
+
+#: Sentinel for "no forbidden value" — ``None`` is a legal read value.
+NO_FORBID = object()
 
 
 def read_steps(
@@ -40,7 +42,7 @@ def read_steps(
     tid: str,
     var: str,
     acquire: bool,
-    want: Optional[Value] = None,
+    forbid: Value = NO_FORBID,
 ) -> Iterator[MemStep]:
     """The ``Read`` rule: ``a ∈ {rd(x, n), rdA(x, n)}``.
 
@@ -50,13 +52,14 @@ def read_steps(
     of *both* components; otherwise only the reader's view of ``x``
     advances to the write read.
 
-    ``want`` optionally filters by value read (used by CAS failure, which
-    requires a value ``≠ u``; pass a predicate via functools if needed —
-    here a concrete value or ``None``).
+    ``forbid`` filters *out* reads of one value: a failing CAS with
+    expected value ``u`` is a relaxed read of any observable value
+    ``≠ u``, which the combined semantics expresses as
+    ``read_steps(..., forbid=u)``.
     """
     for w in gamma.obs(tid, var):
         n = wrval(w.act)
-        if want is not None and n != want:
+        if forbid is not NO_FORBID and n == forbid:
             continue
         action = mk_read(var, n, tid, acquire=acquire)
         sync = is_releasing(w.act) and acquire
@@ -88,9 +91,8 @@ def write_steps(
     over both components (``mview' = tview' ∪ β.tview_t``) so that later
     synchronisation through this write updates views across components.
     """
-    existing = gamma.timestamps()
     for w in gamma.observable_uncovered(tid, var):
-        q_new = fresh_after(w.ts, existing)
+        q_new = gamma.fresh_ts(var, w.ts)
         action = mk_write(var, value, tid, release=release)
         new_op = Op(action, q_new)
         tview2 = gamma.thread_view_map(tid).set(var, new_op)
@@ -119,13 +121,12 @@ def update_steps(
     acquires ``w``'s modification view into both components' thread views.
     The new operation's modification view is ``tview' ∪ ctview'``.
     """
-    existing = gamma.timestamps()
     for w in gamma.observable_uncovered(tid, var):
         m = wrval(w.act)
         if expect is not None and m != expect:
             continue
         n = make_new(m)
-        q_new = fresh_after(w.ts, existing)
+        q_new = gamma.fresh_ts(var, w.ts)
         action = mk_update(var, m, n, tid)
         new_op = Op(action, q_new)
         base_tview = gamma.thread_view_map(tid).set(var, new_op)

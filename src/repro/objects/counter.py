@@ -21,7 +21,7 @@ from repro.memory.actions import Op, mk_method
 from repro.memory.state import ComponentState
 from repro.memory.views import merge_views, view_union
 from repro.objects.base import AbstractObject, ObjStep
-from repro.util.rationals import TS_ZERO, fresh_after
+from repro.util.rationals import TS_ZERO
 
 INC = "inc"
 READ = "read"
@@ -72,7 +72,7 @@ class AbstractCounter(AbstractObject):
         assert w is not None, "counter missing its init operation"
         old = self.value(lib)
         n = self.op_count(lib)
-        q_new = fresh_after(w.ts, lib.timestamps())
+        q_new = lib.fresh_ts(self.name, w.ts)
         op = Op(
             mk_method(self.name, INC, tid=tid, val=old + 1, index=n, sync=True),
             q_new,

@@ -30,7 +30,7 @@ from repro.memory.actions import Action, Op, mk_method
 from repro.memory.state import ComponentState
 from repro.memory.views import merge_views, view_union
 from repro.objects.base import AbstractObject, ObjStep
-from repro.util.rationals import TS_ZERO, fresh_after
+from repro.util.rationals import TS_ZERO
 
 ACQUIRE = "acquire"
 RELEASE = "release"
@@ -85,7 +85,7 @@ class AbstractLock(AbstractObject):
         if w is None or w.act.method not in (INIT, RELEASE):
             return  # lock held: acquire disabled (blocks)
         n = self.next_index(lib)
-        q_new = fresh_after(w.ts, lib.timestamps())
+        q_new = lib.fresh_ts(self.name, w.ts)
         b = Op(mk_method(self.name, ACQUIRE, tid=tid, index=n), q_new)
         mv_w = lib.mview[w]
         # tview' = γ.tview_t[l := (b, q')] ⊗ γ.mview(w, q)
@@ -104,7 +104,7 @@ class AbstractLock(AbstractObject):
         if w is None or w.act.method != ACQUIRE or w.act.tid != tid:
             return  # releaser does not hold the lock: disabled
         n = self.next_index(lib)
-        q_new = fresh_after(w.ts, lib.timestamps())
+        q_new = lib.fresh_ts(self.name, w.ts)
         a = Op(mk_method(self.name, RELEASE, tid=tid, index=n, sync=True), q_new)
         tview2 = lib.thread_view_map(tid).set(self.name, a)
         mview2 = view_union(tview2, cli.thread_view_map(tid))

@@ -18,7 +18,7 @@ from repro.memory.actions import Op, mk_method
 from repro.memory.state import ComponentState
 from repro.memory.views import merge_views, view_union
 from repro.objects.base import AbstractObject, ObjStep
-from repro.util.rationals import TS_ZERO, fresh_after
+from repro.util.rationals import TS_ZERO
 
 ENQ = "enq"
 ENQ_R = "enqR"
@@ -83,7 +83,7 @@ class AbstractQueue(AbstractObject):
         latest = self.latest(lib)
         assert latest is not None, "queue missing its init operation"
         n = self.op_count(lib)
-        q_new = fresh_after(latest.ts, lib.timestamps())
+        q_new = lib.fresh_ts(self.name, latest.ts)
         name = ENQ_R if release else ENQ
         op = Op(
             mk_method(self.name, name, tid=tid, val=value, index=n, sync=release),
@@ -108,7 +108,7 @@ class AbstractQueue(AbstractObject):
         value, enq_op = front
         latest = self.latest(lib)
         n = self.op_count(lib)
-        q_new = fresh_after(latest.ts, lib.timestamps())
+        q_new = lib.fresh_ts(self.name, latest.ts)
         name = DEQ_A if acquire else DEQ
         op = Op(mk_method(self.name, name, tid=tid, val=value, index=n), q_new)
         base_view = lib.thread_view_map(tid).set(self.name, op)

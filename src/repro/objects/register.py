@@ -28,7 +28,7 @@ from repro.memory.actions import Op, mk_method
 from repro.memory.state import ComponentState
 from repro.memory.views import merge_views, view_union
 from repro.objects.base import AbstractObject, ObjStep
-from repro.util.rationals import TS_ZERO, fresh_after
+from repro.util.rationals import TS_ZERO
 
 WRITE = "write"
 WRITE_R = "writeR"
@@ -81,7 +81,7 @@ class AbstractRegister(AbstractObject):
         n = self.op_count(lib)
         name = WRITE_R if release else WRITE
         for w in lib.observable_uncovered(tid, self.name):
-            q_new = fresh_after(w.ts, lib.timestamps())
+            q_new = lib.fresh_ts(self.name, w.ts)
             op = Op(
                 mk_method(self.name, name, tid=tid, val=value, index=n, sync=release),
                 q_new,

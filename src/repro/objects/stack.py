@@ -34,7 +34,7 @@ from repro.memory.actions import Op, mk_method
 from repro.memory.state import ComponentState
 from repro.memory.views import merge_views, view_union
 from repro.objects.base import AbstractObject, ObjStep
-from repro.util.rationals import TS_ZERO, fresh_after
+from repro.util.rationals import TS_ZERO
 
 PUSH = "push"
 PUSH_R = "pushR"
@@ -103,7 +103,7 @@ class AbstractStack(AbstractObject):
         w = self.latest(lib)
         assert w is not None, "stack missing its init operation"
         n = self.op_count(lib)
-        q_new = fresh_after(w.ts, lib.timestamps())
+        q_new = lib.fresh_ts(self.name, w.ts)
         name = PUSH_R if release else PUSH
         op = Op(mk_method(self.name, name, tid=tid, val=value, index=n, sync=release), q_new)
         tview2 = lib.thread_view_map(tid).set(self.name, op)
@@ -126,7 +126,7 @@ class AbstractStack(AbstractObject):
         value, push_op = top
         latest = self.latest(lib)
         n = self.op_count(lib)
-        q_new = fresh_after(latest.ts, lib.timestamps())
+        q_new = lib.fresh_ts(self.name, latest.ts)
         name = POP_A if acquire else POP
         op = Op(mk_method(self.name, name, tid=tid, val=value, index=n), q_new)
         base_view = lib.thread_view_map(tid).set(self.name, op)

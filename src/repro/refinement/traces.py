@@ -19,7 +19,6 @@ from typing import Dict, FrozenSet, Sequence, Tuple
 from repro.lang.program import Program
 from repro.memory.actions import Op
 from repro.semantics.config import Config
-from repro.util.rationals import rank_map
 
 
 @dataclass(frozen=True)
@@ -56,14 +55,14 @@ class ClientState:
 
 def client_projection(program: Program, cfg: Config) -> ClientState:
     """Project a configuration to its client-observable state."""
-    from repro.semantics.canon import _var_ranks
+    from repro.semantics.canon import _enc_table
 
     gamma = cfg.gamma
-    ranks = _var_ranks(gamma)
+    table = _enc_table(gamma)
     lib_regs = program.lib_registers()
 
     def enc(op: Op) -> Tuple:
-        return (op.act, ranks[op.act.var][op.ts])
+        return table[op]
 
     locals_ = tuple(
         sorted(

@@ -11,15 +11,31 @@ the canonical key replaces each timestamp by its rank *within its
 ranking: two interleavings that produce the same per-variable orders but
 different cross-variable numeric interleavings collapse to one state.
 
+Rank-from-index encoding
+------------------------
+Each component state already maintains its operations sorted by
+timestamp per variable (:attr:`~repro.memory.state.ComponentState.index`),
+so an operation's canonical rank is simply its *position* in that
+sequence — read off the index in O(1) per operation instead of
+rebuilding per-variable ``rank_map``s from an unsorted ``ops`` scan for
+every visited state.  Because the client/library variable partition
+makes every operation belong to exactly one component's index, one
+combined ``op → rank`` table resolves the cross-component references in
+modification views without consulting the program's partition, and the
+resulting key is a pure function of the configuration — it is therefore
+cached on the (immutable) configuration, so BFS dedup, witness search
+and the refinement machinery rank-encode each state at most once.
+Deterministic orderings inside the key use cheap *structural* sort keys
+(action fields and integer ranks), not ``repr`` of whole encodings.
+
 Soundness: an order-isomorphic per-variable relabelling is a bisimulation
 — the enabled transitions, placement choices and view updates of the
 semantics are invariant under it (the numeric value chosen by ``fresh``
 never feeds back into behaviour, only its per-variable position does).
 The property suite cross-validates this by comparing terminal outcomes
-of canonical vs raw exploration over random programs.
-
-Cross-component references (modification views span both components) are
-resolved through the program's variable partition.
+of canonical vs raw exploration over random programs, and by checking
+the indexed encoding against a retained naive reference implementation
+(:mod:`repro.memory.naive`) over the litmus catalog.
 """
 
 from __future__ import annotations
@@ -30,47 +46,69 @@ from repro.lang.program import Program
 from repro.memory.actions import Op
 from repro.memory.state import ComponentState
 from repro.semantics.config import Config
-from repro.util.rationals import rank_map
 
 
-def _var_ranks(state: ComponentState) -> Dict:
-    """rank maps per variable: var -> {ts -> rank}."""
-    by_var: Dict = {}
-    for op in state.ops:
-        by_var.setdefault(op.act.var, []).append(op.ts)
-    return {var: rank_map(ts_list) for var, ts_list in by_var.items()}
+def _enc_table(state: ComponentState) -> Dict[Op, Tuple]:
+    """``op -> (action, rank)``: each operation's canonical encoding,
+    with the rank read directly off its per-variable index position.
+    The single rank-derivation walk shared by the canonical keys and the
+    refinement projection (:mod:`repro.refinement.traces`)."""
+    enc: Dict[Op, Tuple] = {}
+    for seq, _ts in state.index.values():
+        for i, op in enumerate(seq):
+            enc[op] = (op.act, i)
+    return enc
+
+
+def _enc_state(state: ComponentState, enc: Dict[Op, Tuple]) -> Tuple:
+    """Encode one component under a combined ``op -> (action, rank)``
+    table.
+
+    All orderings inside the encoding are *structural*: operations are
+    emitted by walking the per-variable index in (variable name, rank)
+    order — already deterministic, so the modification-view sequence
+    needs no sort at all (dom(mview) = ops), let alone the former
+    ``repr``-lexicographic one.
+    """
+    ops = []
+    mview_items = []
+    mv = state.mview
+    index = state.index
+    for var in sorted(index):
+        for op in index[var][0]:
+            e = enc[op]
+            ops.append(e)
+            view = mv.get(op)
+            if view is not None:
+                mview_items.append(
+                    (
+                        e,
+                        tuple(
+                            sorted((x, enc[o]) for x, o in view.items())
+                        ),
+                    )
+                )
+    tview = tuple(
+        sorted((key, enc[op]) for key, op in state.tview.items())
+    )
+    cvd = frozenset(enc[op] for op in state.cvd)
+    return (frozenset(ops), tview, tuple(mview_items), cvd)
 
 
 def canonical_key(program: Program, cfg: Config) -> Tuple:
     """A hashable key identifying ``cfg`` up to per-variable timestamp
-    relabelling."""
-    g_ranks = _var_ranks(cfg.gamma)
-    b_ranks = _var_ranks(cfg.beta)
-    client_vars = program.client_var_names
+    relabelling.
 
-    def enc_op(op: Op) -> Tuple:
-        ranks = g_ranks if op.act.var in client_vars else b_ranks
-        return (op.act, ranks[op.act.var][op.ts])
-
-    def enc_state(state: ComponentState) -> Tuple:
-        ops = frozenset(enc_op(op) for op in state.ops)
-        tview = tuple(
-            sorted((key, enc_op(op)) for key, op in state.tview.items())
-        )
-        mview = tuple(
-            sorted(
-                (
-                    (
-                        enc_op(op),
-                        tuple(sorted((x, enc_op(o)) for x, o in view.items())),
-                    )
-                    for op, view in state.mview.items()
-                ),
-                key=repr,
-            )
-        )
-        cvd = frozenset(enc_op(op) for op in state.cvd)
-        return (ops, tview, mview, cvd)
+    The key is a pure function of the configuration (the variable
+    partition resolves itself through the per-component indices), so it
+    is computed once and cached on ``cfg``; ``program`` is retained for
+    API stability.
+    """
+    cached = cfg.__dict__.get("_canonical_key")
+    if cached is not None:
+        return cached
+    enc = _enc_table(cfg.gamma)
+    enc.update(_enc_table(cfg.beta))
 
     cmds = tuple(sorted(cfg.cmds.items(), key=lambda kv: kv[0]))
     locals_ = tuple(
@@ -78,7 +116,14 @@ def canonical_key(program: Program, cfg: Config) -> Tuple:
             (tid, ls.items_sorted()) for tid, ls in cfg.locals.items()
         )
     )
-    return (cmds, locals_, enc_state(cfg.gamma), enc_state(cfg.beta))
+    key = (
+        cmds,
+        locals_,
+        _enc_state(cfg.gamma, enc),
+        _enc_state(cfg.beta, enc),
+    )
+    object.__setattr__(cfg, "_canonical_key", key)
+    return key
 
 
 def client_state_key(program: Program, cfg: Config) -> Tuple:
@@ -86,18 +131,22 @@ def client_state_key(program: Program, cfg: Config) -> Tuple:
 
     Used by the refinement machinery (paper §6.1): client-projected local
     states plus the canonicalised client component.  Library registers
-    (``LVar_L``) are excluded from local states.
+    (``LVar_L``) are excluded from local states.  Cached per
+    configuration (the library-register set is a fixture of the program
+    the configuration belongs to).
     """
-    g_ranks = _var_ranks(cfg.gamma)
+    cached = cfg.__dict__.get("_client_state_key")
+    if cached is not None:
+        return cached
+    enc = _enc_table(cfg.gamma)
     lib_regs = program.lib_registers()
 
-    def enc_op(op: Op) -> Tuple:
-        return (op.act, g_ranks[op.act.var][op.ts])
-
     gamma = cfg.gamma
-    ops = frozenset(enc_op(op) for op in gamma.ops)
-    tview = tuple(sorted((key, enc_op(op)) for key, op in gamma.tview.items()))
-    cvd = frozenset(enc_op(op) for op in gamma.cvd)
+    ops = frozenset(enc[op] for op in gamma.ops)
+    tview = tuple(
+        sorted((key, enc[op]) for key, op in gamma.tview.items())
+    )
+    cvd = frozenset(enc[op] for op in gamma.cvd)
     locals_ = tuple(
         sorted(
             (
@@ -111,4 +160,6 @@ def client_state_key(program: Program, cfg: Config) -> Tuple:
             for tid, ls in cfg.locals.items()
         )
     )
-    return (locals_, ops, tview, cvd)
+    key = (locals_, ops, tview, cvd)
+    object.__setattr__(cfg, "_client_state_key", key)
+    return key

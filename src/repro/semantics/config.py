@@ -30,6 +30,22 @@ class Config:
     gamma: ComponentState  # client component
     beta: ComponentState  # library component
 
+    # -- serialisation -------------------------------------------------------
+    def __getstate__(self):
+        """Pickle the four defining fields only: cached canonical keys
+        (installed by :mod:`repro.semantics.canon`) are derived data and
+        would bloat the sharded explorer's cross-process byte stream."""
+        return {
+            "cmds": self.cmds,
+            "locals": self.locals,
+            "gamma": self.gamma,
+            "beta": self.beta,
+        }
+
+    def __setstate__(self, state) -> None:
+        for k, v in state.items():
+            object.__setattr__(self, k, v)
+
     # -- inspection ----------------------------------------------------------
     def cmd(self, tid: str) -> Com:
         return self.cmds[tid]

@@ -82,7 +82,11 @@ def reachable(
     """Return a reachable configuration satisfying ``predicate`` or None.
 
     Exploration halts at the first witness (early-stop) rather than
-    enumerating the rest of the state space.
+    enumerating the rest of the state space.  ``None`` is a *proof* of
+    unreachability: when the search exhausts ``max_states`` without a
+    witness the answer is unknown, and pretending otherwise would let a
+    truncated search masquerade as one — that case raises
+    :class:`VerificationError` instead.
     """
     witness: list = []
 
@@ -92,8 +96,16 @@ def reachable(
             return True
         return False
 
-    explore(program, max_states=max_states, on_config=probe)
-    return witness[0] if witness else None
+    result = explore(program, max_states=max_states, on_config=probe)
+    if witness:
+        return witness[0]
+    if result.truncated:
+        raise VerificationError(
+            f"no witness within the first {result.state_count} states and "
+            "the search was truncated — unreachability not established; "
+            "raise max_states"
+        )
+    return None
 
 
 def assert_invariant(
@@ -104,7 +116,10 @@ def assert_invariant(
     """Check a safety property on every reachable configuration.
 
     Raises :class:`VerificationError` with the offending configuration;
-    the search stops at the first violation.
+    the search stops at the first violation.  A truncated search that
+    found no violation also raises — it checked only part of the space,
+    so it proves nothing (silently returning would report a partial
+    search as a successful verification).
     """
     violation: list = []
 
@@ -118,6 +133,11 @@ def assert_invariant(
     if violation:
         raise VerificationError(
             "invariant violated", counterexample=violation[0]
+        )
+    if result.truncated:
+        raise VerificationError(
+            f"invariant held on the first {result.state_count} states but "
+            "the search was truncated — not a proof; raise max_states"
         )
     return result
 

@@ -111,10 +111,8 @@ def _steps(
             yield action, comp, None, ls.set(cmd.reg, True), g2, b2
         # Failure: a relaxed read of any observable value ≠ u.
         for action, _w, exec2, ctx2 in read_steps(
-            exec_state, ctx_state, tid, cmd.var, acquire=False
+            exec_state, ctx_state, tid, cmd.var, acquire=False, forbid=expect
         ):
-            if action.val == expect:
-                continue
             g2, b2 = (ctx2, exec2) if in_lib else (exec2, ctx2)
             yield action, comp, None, ls.set(cmd.reg, False), g2, b2
 

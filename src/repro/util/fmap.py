@@ -16,6 +16,9 @@ from typing import Any, Dict, Iterator, Mapping, Tuple, TypeVar
 K = TypeVar("K")
 V = TypeVar("V")
 
+#: Sentinel distinguishing "absent" from "bound to None".
+_ABSENT = object()
+
 
 class FMap(Mapping[K, V]):
     """Immutable hashable mapping with functional update."""
@@ -39,18 +42,52 @@ class FMap(Mapping[K, V]):
     def __contains__(self, key: object) -> bool:
         return key in self._d
 
+    # Direct delegates: the Mapping ABC's mixin versions route through
+    # ``__getitem__`` item-by-item (ItemsView iteration, try/except get),
+    # which profiling shows on the explorer's hot path.
+    def get(self, key: K, default=None):
+        return self._d.get(key, default)
+
+    def keys(self):
+        return self._d.keys()
+
+    def values(self):
+        return self._d.values()
+
+    def items(self):
+        return self._d.items()
+
     # -- functional updates ------------------------------------------------
     def set(self, key: K, value: V) -> "FMap[K, V]":
-        """Return a copy with ``key`` bound to ``value``."""
+        """Return a copy with ``key`` bound to ``value``.
+
+        When the binding is already present with an equal value the map
+        itself is returned — no copy, and the cached hash survives.  The
+        explorer hits this constantly through non-advancing view updates.
+        """
+        cur = self._d.get(key, _ABSENT)
+        if cur is value or (cur is not _ABSENT and cur == value):
+            return self
         new = dict(self._d)
         new[key] = value
         return FMap(new)
 
     def set_many(self, items: Mapping[K, V]) -> "FMap[K, V]":
-        """Return a copy with every binding in ``items`` applied."""
+        """Return a copy with every binding in ``items`` applied.
+
+        Returns ``self`` (preserving the cached hash) when every binding
+        is already present with an equal value.
+        """
         if not items:
             return self
-        new = dict(self._d)
+        d = self._d
+        for k, v in items.items():
+            cur = d.get(k, _ABSENT)
+            if not (cur is v or (cur is not _ABSENT and cur == v)):
+                break
+        else:
+            return self
+        new = dict(d)
         new.update(items)
         return FMap(new)
 
@@ -59,6 +96,16 @@ class FMap(Mapping[K, V]):
         new = dict(self._d)
         del new[key]
         return FMap(new)
+
+    # -- serialisation -----------------------------------------------------
+    def __getstate__(self):
+        """Pickle the mapping only: the cached hash folds per-process
+        string hashes (``PYTHONHASHSEED``) and must not cross processes."""
+        return self._d
+
+    def __setstate__(self, d) -> None:
+        self._d = d
+        self._hash = None
 
     # -- identity ----------------------------------------------------------
     def __hash__(self) -> int:

@@ -109,6 +109,79 @@ class TestQueries:
         assert set(gamma.timestamps()) == {Fraction(0)}
 
 
+class TestIndex:
+    def test_index_matches_ops(self, init_pair):
+        gamma, _ = init_pair
+        for var, (seq, ts_seq) in gamma.index.items():
+            assert all(op.act.var == var for op in seq)
+            assert ts_seq == tuple(op.ts for op in seq)
+            assert list(ts_seq) == sorted(ts_seq)
+        indexed = {op for seq, _ in gamma.index.values() for op in seq}
+        assert indexed == set(gamma.ops)
+
+    def test_add_op_maintains_index_incrementally(self, init_pair):
+        gamma, _ = init_pair
+        # Insert out of timestamp order: 2 then 1 — the index must stay
+        # sorted without a rescan of ops.
+        w2 = Op(mk_write("d", 2, "1"), Fraction(2))
+        w1 = Op(mk_write("d", 1, "1"), Fraction(1))
+        tv = gamma.thread_view_map("1")
+        gamma = gamma.add_op(w2, tv, "1", tv)
+        gamma = gamma.add_op(w1, tv, "1", tv)
+        assert gamma.last_op("d") == w2
+        assert [op.ts for op in gamma.ops_on("d")] == [
+            Fraction(0),
+            Fraction(1),
+            Fraction(2),
+        ]
+        assert gamma.all_ts == (
+            Fraction(0),
+            Fraction(0),
+            Fraction(1),
+            Fraction(2),
+        )
+        gamma.check_invariants(("1", "2"))
+
+    def test_fresh_ts_midpoint_and_top(self, init_pair):
+        gamma, _ = init_pair
+        w = Op(mk_write("d", 1, "1"), Fraction(1))
+        tv = gamma.thread_view_map("1")
+        gamma = gamma.add_op(w, tv, "1", tv)
+        # Between init (0) and w (1): the canonical midpoint.
+        assert gamma.fresh_ts("d", Fraction(0)) == Fraction(1, 2)
+        # Above the maximum: max + 1.
+        assert gamma.fresh_ts("d", Fraction(1)) == Fraction(2)
+
+    def test_fresh_ts_matches_component_wide_fresh_after(self, init_pair):
+        # The ceiling is component-wide (the paper's fresh over *ops*),
+        # not per-variable: an f-op in the gap above a d-anchor caps it.
+        from repro.util.rationals import fresh_after
+
+        gamma, _ = init_pair
+        wf = Op(mk_write("f", 1, "1"), Fraction(1, 3))
+        tv = gamma.thread_view_map("1")
+        gamma = gamma.add_op(wf, tv, "1", tv)
+        assert gamma.fresh_ts("d", Fraction(0)) == fresh_after(
+            Fraction(0), gamma.timestamps()
+        )
+        assert gamma.fresh_ts("d", Fraction(0)) == Fraction(1, 6)
+
+    def test_with_thread_view_no_op_returns_self(self, init_pair):
+        gamma, _ = init_pair
+        unchanged = gamma.with_thread_view("1", gamma.thread_view_map("1"))
+        assert unchanged is gamma
+
+    def test_thread_view_map_cached_and_correct_after_updates(self, init_pair):
+        gamma, _ = init_pair
+        assert gamma.thread_view_map("1") is gamma.thread_view_map("1")
+        w = Op(mk_write("d", 7, "1"), Fraction(1))
+        tview = gamma.thread_view_map("1").set("d", w)
+        gamma2 = gamma.add_op(w, tview, "1", tview)
+        assert gamma2.thread_view_map("1") == tview
+        # The other thread's (derived) view map is unaffected.
+        assert gamma2.thread_view_map("2") == gamma.thread_view_map("2")
+
+
 class TestInvariants:
     def test_initial_states_coherent(self, init_pair):
         gamma, beta = init_pair

@@ -136,11 +136,30 @@ class TestReadRule:
             if w == fnew:
                 assert g2.thread_view("2", "d").ts == Fraction(0)
 
-    def test_want_filter(self, states):
+    def test_forbid_filter(self, states):
+        # CAS failure: a relaxed read of any observable value ≠ u.
         gamma, beta = states
         _a, _w, gamma1, _ = the(write_steps(gamma, beta, "1", "d", 5, False))
-        vals = [a.val for a, _w, _g, _b in read_steps(gamma1, beta, "2", "d", False, want=5)]
-        assert vals == [5]
+        vals = [
+            a.val
+            for a, _w, _g, _b in read_steps(
+                gamma1, beta, "2", "d", False, forbid=5
+            )
+        ]
+        assert vals == [0]
+
+    def test_forbid_none_is_a_real_value(self, states):
+        # The sentinel default means "no filter": forbidding the value
+        # ``None`` must filter reads of None, not disable filtering.
+        gamma, beta = states
+        _a, _w, gamma1, _ = the(write_steps(gamma, beta, "1", "d", None, False))
+        vals = [
+            a.val
+            for a, _w, _g, _b in read_steps(
+                gamma1, beta, "2", "d", False, forbid=None
+            )
+        ]
+        assert vals == [0]
 
 
 class TestUpdateRule:

@@ -1,0 +1,107 @@
+"""Truncation semantics: what a capped search may and may not claim.
+
+A search that hits ``max_states`` has inspected only part of the state
+space; the only sound readings of its result are *lower bounds* and
+*found witnesses*.  These tests pin the contract at the boundary:
+
+* ``explore`` distinguishes early-stop (``stopped``) from cap-hit
+  (``truncated``);
+* ``reachable`` may return a witness found inside a truncated prefix,
+  but never converts "no witness yet" into "unreachable" — that raises;
+* ``assert_invariant`` refuses to bless an invariant it only checked on
+  a prefix;
+* ``final_outcomes`` keeps refusing truncated spaces (pre-existing
+  behaviour, re-pinned here).
+"""
+
+import pytest
+
+from repro.semantics.explore import (
+    assert_invariant,
+    explore,
+    final_outcomes,
+    reachable,
+)
+from repro.util.errors import VerificationError
+from tests.conftest import mp_ra, mp_relaxed
+
+
+class TestExploreFlags:
+    def test_exact_cap_is_not_truncated(self):
+        full = explore(mp_relaxed())
+        r = explore(mp_relaxed(), max_states=full.state_count)
+        assert not r.truncated
+        assert r.state_count == full.state_count
+
+    def test_one_below_cap_truncates(self):
+        full = explore(mp_relaxed())
+        r = explore(mp_relaxed(), max_states=full.state_count - 1)
+        assert r.truncated
+        assert r.state_count == full.state_count - 1
+
+    def test_early_stop_is_not_truncation(self):
+        r = explore(mp_relaxed(), on_config=lambda cfg: True)
+        assert r.stopped and not r.truncated
+
+    def test_truncated_counts_are_lower_bounds(self):
+        full = explore(mp_relaxed())
+        r = explore(mp_relaxed(), max_states=3)
+        assert r.truncated
+        assert r.state_count <= full.state_count
+        assert r.edge_count <= full.edge_count
+
+
+class TestReachableTruncation:
+    def test_witness_inside_truncated_prefix_is_returned(self):
+        # The initial configuration satisfies the predicate, so even a
+        # 1-state budget finds it: a witness is a witness.
+        cfg = reachable(mp_relaxed(), lambda c: True, max_states=1)
+        assert cfg is not None
+
+    def test_no_witness_plus_truncation_raises(self):
+        # Unsatisfiable predicate, truncated search: "not found" would
+        # be unsound, so the call must refuse.
+        with pytest.raises(VerificationError, match="truncated"):
+            reachable(mp_relaxed(), lambda c: False, max_states=3)
+
+    def test_no_witness_complete_search_returns_none(self):
+        p = mp_ra()
+        cfg = reachable(
+            p,
+            lambda c: c.is_terminal()
+            and c.local("2", "r1") == 1
+            and c.local("2", "r2") == 0,
+        )
+        assert cfg is None
+
+
+class TestAssertInvariantTruncation:
+    def test_truncated_pass_raises(self):
+        with pytest.raises(VerificationError, match="truncated"):
+            assert_invariant(mp_relaxed(), lambda c: True, max_states=3)
+
+    def test_violation_beats_truncation_reporting(self):
+        # A violation found within the prefix is still reported as a
+        # violation (with its counterexample), not as a truncation.
+        with pytest.raises(VerificationError, match="invariant violated") as exc:
+            assert_invariant(mp_relaxed(), lambda c: False, max_states=3)
+        assert exc.value.counterexample is not None
+
+    def test_complete_pass_returns_result(self):
+        result = assert_invariant(mp_relaxed(), lambda c: True)
+        assert not result.truncated
+
+
+class TestFinalOutcomesTruncation:
+    def test_truncated_raises(self):
+        with pytest.raises(VerificationError, match="truncated"):
+            final_outcomes(mp_relaxed(), (("2", "r1"),), max_states=3)
+
+    def test_exact_budget_succeeds(self):
+        full = explore(mp_relaxed())
+        outcomes = final_outcomes(
+            mp_relaxed(),
+            (("2", "r1"), ("2", "r2")),
+            max_states=full.state_count,
+        )
+        assert outcomes == {(0, 0), (0, 5), (1, 0), (1, 5)}

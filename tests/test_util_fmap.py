@@ -53,6 +53,30 @@ class TestFunctionalUpdate:
         m = FMap({"a": 1})
         assert m.set_many({}) is m
 
+    def test_set_same_binding_returns_self(self):
+        m = FMap({"a": 1})
+        assert m.set("a", 1) is m
+        # A no-op update must not discard the cached hash.
+        h = hash(m)
+        assert m.set("a", 1)._hash == h
+
+    def test_set_none_value_not_confused_with_absent(self):
+        m = FMap({"a": None})
+        assert m.set("a", None) is m
+        assert FMap({}).set("a", None) is not FMap({})
+        assert FMap().set("a", None)["a"] is None
+
+    def test_set_many_all_same_returns_self(self):
+        m = FMap({"a": 1, "b": 2})
+        assert m.set_many({"a": 1, "b": 2}) is m
+        assert m.set_many({"b": 2}) is m
+
+    def test_set_many_one_change_copies(self):
+        m = FMap({"a": 1, "b": 2})
+        m2 = m.set_many({"a": 1, "b": 3})
+        assert m2 is not m
+        assert dict(m2.items()) == {"a": 1, "b": 3}
+
     def test_remove(self):
         m1 = FMap({"a": 1, "b": 2})
         m2 = m1.remove("a")
