@@ -16,6 +16,9 @@ Options:
   for ``litmus``, job-level concurrency for ``batch`` (default 1);
 * ``--strategy S``  — frontier strategy ``bfs`` | ``dfs`` |
   ``swarm[:seed]`` (sequential engine only);
+* ``--reduction R`` — state-space reduction ``closure`` (default:
+  ε-closure + covering-read prune, same verdicts from far fewer stored
+  states) | ``off`` (the unreduced semantics) for ``litmus``/``batch``;
 * ``--no-cache``    — disable the persistent result cache;
 * ``--jobs a,b,c``  — subset of batch jobs (default: all);
 * ``--json PATH``   — write the batch report to PATH.
@@ -45,24 +48,57 @@ def _make_engine(options: Optional[dict] = None):
         strategy=options.get("strategy", "bfs"),
         workers=options.get("workers", 1),
         cache=cache,
+        reduction=options.get("reduction", "closure"),
     )
 
 
 def run_litmus(options: Optional[dict] = None) -> bool:
-    """Run the litmus battery; True iff every verdict matches RC11 RAR."""
-    from repro.litmus.catalog import LITMUS_TESTS, run_litmus
+    """Run the litmus battery; True iff every verdict matches RC11 RAR.
+
+    Under ``--reduction closure`` (the default) the ``full`` column
+    reports the states an unreduced exploration would store, read from
+    the committed reduction-benchmark baseline rather than re-run.
+    """
+    from repro.litmus.catalog import LITMUS_TESTS, reduction_baseline, run_litmus
 
     engine = _make_engine(options)
+    baseline = (
+        reduction_baseline() if engine.reduction == "closure" else None
+    )
+    full_col = f" {'full':>7s}" if baseline is not None else ""
     ok = True
-    print(f"{'litmus test':18s} {'states':>7s} {'weak':>10s} {'src':>6s} verdict")
+    print(
+        f"{'litmus test':20s} {'states':>7s}{full_col} {'weak':>10s} "
+        f"{'src':>6s} verdict"
+    )
+    # Both totals run over the tests the baseline covers, so the printed
+    # ratio always compares like with like (a catalog entry added since
+    # the baseline was regenerated is shown with `?` and excluded).
+    explored_total = 0
+    full_total = 0
     for test in LITMUS_TESTS:
         result = run_litmus(test, engine=engine, use_cache=True)
         ok &= result["verdict_ok"]
         weak = "observed" if result["weak_observed"] else "absent"
         src = "cache" if result["cached"] else "run"
+        full = ""
+        if baseline is not None:
+            full_states = baseline.get(test.name)
+            if full_states is not None:
+                full = f" {full_states:7d}"
+                full_total += full_states
+                explored_total += result["states"]
+            else:
+                full = f" {'?':>7s}"
         print(
-            f"{test.name:18s} {result['states']:7d} {weak:>10s} {src:>6s} "
-            f"{'OK' if result['verdict_ok'] else 'MISMATCH'}"
+            f"{test.name:20s} {result['states']:7d}{full} {weak:>10s} "
+            f"{src:>6s} {'OK' if result['verdict_ok'] else 'MISMATCH'}"
+        )
+    if baseline is not None and full_total:
+        print(
+            f"reduction: {explored_total} states stored vs {full_total} "
+            f"unreduced ({full_total / max(explored_total, 1):.2f}x, "
+            "baseline benchmarks/BENCH_reduction.json)"
         )
     if engine.cache is not None:
         print(
@@ -159,6 +195,7 @@ def run_batch_cmd(options: Optional[dict] = None) -> bool:
         workers=options.get("workers", 1),
         use_cache=not options.get("no_cache", False),
         json_path=options.get("json"),
+        reduction=options.get("reduction", "closure"),
     )
     print(report.describe())
     if options.get("json"):
@@ -169,17 +206,22 @@ def run_batch_cmd(options: Optional[dict] = None) -> bool:
 #: Flags each command actually reads; anything else is a usage error
 #: rather than a silent no-op.
 _COMMAND_FLAGS = {
-    "litmus": {"workers", "strategy", "no_cache"},
+    "litmus": {"workers", "strategy", "no_cache", "reduction"},
     "figures": set(),
     "refine": {"workers", "strategy"},
-    "batch": {"workers", "jobs", "json", "no_cache"},
-    "all": {"workers", "strategy", "no_cache"},
+    "batch": {"workers", "jobs", "json", "no_cache", "reduction"},
+    "all": {"workers", "strategy", "no_cache", "reduction"},
 }
 
 
 def _parse_options(args, command: str) -> Optional[dict]:
     """Parse trailing CLI flags; None signals a usage error."""
-    options = {"workers": 1, "strategy": "bfs", "no_cache": False}
+    options = {
+        "workers": 1,
+        "strategy": "bfs",
+        "no_cache": False,
+        "reduction": "closure",
+    }
     given = set()
     i = 0
     while i < len(args):
@@ -187,7 +229,9 @@ def _parse_options(args, command: str) -> Optional[dict]:
         if flag == "--no-cache":
             options["no_cache"] = True
             given.add("no_cache")
-        elif flag in ("--workers", "--strategy", "--jobs", "--json"):
+        elif flag in (
+            "--workers", "--strategy", "--jobs", "--json", "--reduction",
+        ):
             if i + 1 >= len(args):
                 return None
             value = args[i + 1]
@@ -202,6 +246,16 @@ def _parse_options(args, command: str) -> Optional[dict]:
                 options["strategy"] = value
             elif flag == "--jobs":
                 options["jobs"] = [j for j in value.split(",") if j]
+            elif flag == "--reduction":
+                from repro.engine import REDUCTIONS
+
+                if value not in REDUCTIONS:
+                    print(
+                        f"error: unknown reduction {value!r}; expected "
+                        + " or ".join(REDUCTIONS)
+                    )
+                    return None
+                options["reduction"] = value
             else:
                 options["json"] = value
         else:

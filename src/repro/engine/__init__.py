@@ -35,6 +35,7 @@ from repro.engine.batch import (
 from repro.engine.cache import ResultCache, cache_enabled_by_env
 from repro.engine.core import (
     DEFAULT_MAX_STATES,
+    REDUCTIONS,
     ExplorationEngine,
     explore_sequential,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "Frontier",
     "JOB_NAMES",
     "JobResult",
+    "REDUCTIONS",
     "ResultCache",
     "SEMANTICS_VERSION",
     "SwarmFrontier",
@@ -82,13 +84,17 @@ def default_engine() -> ExplorationEngine:
     """A CLI-defaults engine, configured from the environment.
 
     Reads ``REPRO_WORKERS`` (default 1), ``REPRO_STRATEGY`` (default
-    ``bfs``), ``REPRO_CACHE`` (set to ``0`` to disable the persistent
-    cache) and ``REPRO_CACHE_DIR`` afresh on every call, so environment
-    changes (and monkeypatched tests) always take effect.  Engines are
-    cheap to construct; the heavyweight state — the on-disk cache — is
-    shared through the filesystem, not the object.
+    ``bfs``), ``REPRO_REDUCTION`` (default ``off``), ``REPRO_CACHE``
+    (set to ``0`` to disable the persistent cache) and
+    ``REPRO_CACHE_DIR`` afresh on every call, so environment changes
+    (and monkeypatched tests) always take effect.  Engines are cheap to
+    construct; the heavyweight state — the on-disk cache — is shared
+    through the filesystem, not the object.
     """
     workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
     strategy = os.environ.get("REPRO_STRATEGY", "bfs") or "bfs"
+    reduction = os.environ.get("REPRO_REDUCTION", "off") or "off"
     cache = ResultCache() if cache_enabled_by_env() else None
-    return ExplorationEngine(strategy=strategy, workers=workers, cache=cache)
+    return ExplorationEngine(
+        strategy=strategy, workers=workers, cache=cache, reduction=reduction
+    )

@@ -26,23 +26,44 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 
-def _job_litmus(use_cache: bool) -> Dict:
-    from repro.litmus.catalog import LITMUS_TESTS, run_litmus
+def _job_litmus(use_cache: bool, reduction: str = "closure") -> Dict:
+    from repro.engine import default_engine
+    from repro.engine.core import ExplorationEngine
+    from repro.litmus.catalog import (
+        LITMUS_TESTS,
+        reduction_baseline,
+        run_litmus,
+    )
 
+    # Honour the environment-configured engine (REPRO_WORKERS /
+    # REPRO_STRATEGY / cache settings) with the batch-level reduction
+    # policy layered on top.
+    base = default_engine()
+    engine = ExplorationEngine(
+        strategy=base.strategy,
+        workers=base.workers,
+        cache=base.cache if use_cache else None,
+        reduction=reduction,
+    )
+    # "Full" states per test come from the committed reduction-benchmark
+    # baseline — the unreduced exploration is *not* re-run here.
+    baseline = reduction_baseline() if reduction == "closure" else None
     rows = []
     ok = True
     for test in LITMUS_TESTS:
-        verdict = run_litmus(test, use_cache=use_cache)
+        verdict = run_litmus(test, engine=engine, use_cache=use_cache)
         ok &= verdict["verdict_ok"]
-        rows.append(
-            {
-                "name": verdict["name"],
-                "verdict_ok": verdict["verdict_ok"],
-                "states": verdict["states"],
-                "weak_observed": verdict["weak_observed"],
-                "cached": verdict["cached"],
-            }
-        )
+        row = {
+            "name": verdict["name"],
+            "verdict_ok": verdict["verdict_ok"],
+            "states": verdict["states"],
+            "weak_observed": verdict["weak_observed"],
+            "cached": verdict["cached"],
+            "reduction": reduction,
+        }
+        if baseline is not None:
+            row["full_states"] = baseline.get(test.name)
+        rows.append(row)
     return {"ok": ok, "detail": rows}
 
 
@@ -180,8 +201,17 @@ class BatchReport:
         return "\n".join(lines)
 
 
-def run_job(name: str, use_cache: bool = True) -> JobResult:
-    """Execute one named job, capturing failures as a verdict."""
+def run_job(
+    name: str, use_cache: bool = True, reduction: str = "closure"
+) -> JobResult:
+    """Execute one named job, capturing failures as a verdict.
+
+    ``reduction`` applies to the litmus battery only: the figure checks
+    enumerate proof outlines over intermediate configurations and the
+    refinement jobs consume un-fused transition graphs, so both always
+    explore with the reduction off (their internal call sites request
+    it explicitly).
+    """
     if name not in JOB_NAMES:
         raise ValueError(
             f"unknown job {name!r}; available: {', '.join(JOB_NAMES)}"
@@ -189,7 +219,7 @@ def run_job(name: str, use_cache: bool = True) -> JobResult:
     start = time.perf_counter()
     try:
         if name == "litmus":
-            outcome = _job_litmus(use_cache)
+            outcome = _job_litmus(use_cache, reduction)
         elif name == "figures":
             outcome = _job_figures()
         else:
@@ -214,12 +244,15 @@ def run_batch(
     workers: int = 1,
     use_cache: bool = True,
     json_path: Optional[str] = None,
+    reduction: str = "closure",
 ) -> BatchReport:
     """Run ``jobs`` (default: all registered) with ``workers`` processes.
 
     ``workers == 1`` runs the jobs in-process, sequentially and
     deterministically; otherwise the jobs are distributed over a process
     pool.  When ``json_path`` is given the report is also written there.
+    ``reduction`` selects the litmus battery's exploration policy (see
+    :func:`run_job`).
     """
     names = list(jobs) if jobs is not None else list(JOB_NAMES)
     for name in names:
@@ -227,6 +260,9 @@ def run_batch(
             raise ValueError(
                 f"unknown job {name!r}; available: {', '.join(JOB_NAMES)}"
             )
+    from repro.engine.core import _check_reduction
+
+    _check_reduction(reduction)
     start = time.perf_counter()
     if workers > 1 and len(names) > 1:
         from concurrent.futures import ProcessPoolExecutor
@@ -237,9 +273,16 @@ def run_batch(
             max_workers=min(workers, len(names)),
             mp_context=_pool_context(),
         ) as pool:
-            results = list(pool.map(run_job, names, [use_cache] * len(names)))
+            results = list(
+                pool.map(
+                    run_job,
+                    names,
+                    [use_cache] * len(names),
+                    [reduction] * len(names),
+                )
+            )
     else:
-        results = [run_job(name, use_cache) for name in names]
+        results = [run_job(name, use_cache, reduction) for name in names]
     report = BatchReport(
         jobs=results, workers=workers, elapsed=time.perf_counter() - start
     )

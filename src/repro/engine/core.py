@@ -42,6 +42,35 @@ if TYPE_CHECKING:
 #: Default safety cap on explored configurations.
 DEFAULT_MAX_STATES = 500_000
 
+#: Recognised reduction policies (mirrors repro.semantics.reduce, which
+#: cannot be imported at module level — see the NOTE above; equality of
+#: the two tuples is test-asserted).
+REDUCTIONS = ("off", "closure")
+
+
+def _check_reduction(reduction: str) -> str:
+    """Validate a policy spec via the reduction layer's own validator,
+    so the accepted set cannot drift from the semantics side."""
+    from repro.semantics.reduce import validate_reduction
+
+    return validate_reduction(reduction)
+
+
+def successor_function(reduction: str):
+    """The successor generator used by every engine backend.
+
+    ``"off"`` is the plain ``=⇒`` relation; ``"closure"`` is the
+    reduction layer's macro-step relation (ε-closure + covering-read
+    prune, :mod:`repro.semantics.reduce`).
+    """
+    if _check_reduction(reduction) == "closure":
+        from repro.semantics.reduce import reduced_successors
+
+        return reduced_successors
+    from repro.semantics.step import successors
+
+    return successors
+
 
 def key_function(
     program: "Program", canonicalise: bool
@@ -62,18 +91,30 @@ def explore_sequential(
     check_invariants: bool = False,
     on_config: Optional[Callable[["Config"], Optional[bool]]] = None,
     strategy="bfs",
+    reduction: str = "off",
 ) -> ExploreResult:
     """Enumerate the reachable configurations of ``program`` in-process.
 
     ``on_config`` is invoked on every configuration as it is expanded
     (the initial one included); returning a truthy value halts the
     exploration immediately and marks the result ``stopped``.
+
+    ``reduction="closure"`` explores the ε-closed macro-step system
+    (:mod:`repro.semantics.reduce`): terminal outcomes, stuck-ness and
+    register-level verdicts are preserved, but intermediate silent
+    configurations are fused away — they are not stored, counted, or
+    passed to ``on_config``/``check_invariants`` — and edges are
+    macro-edges labelled with their visible action.
     """
     from repro.semantics.config import initial_config
-    from repro.semantics.step import successors
 
+    successors = successor_function(reduction)
     start = time.perf_counter()
     init = initial_config(program)
+    if reduction == "closure":
+        from repro.semantics.reduce import close_config
+
+        init = close_config(program, init)
     keyf = key_function(program, canonicalise)
 
     init_key = keyf(init)
@@ -173,6 +214,14 @@ class ExplorationEngine:
         :meth:`run` serves repeated explorations from disk.
     max_states:
         Default safety cap, overridable per call.
+    reduction:
+        State-space reduction policy — ``"off"`` (default, the
+        historical semantics) or ``"closure"`` (ε-closure +
+        covering-read prune, :mod:`repro.semantics.reduce`), applied by
+        both the sequential and the sharded backend and overridable per
+        call.  The policy is part of the persistent-cache key: reduced
+        and unreduced explorations are cached separately because they
+        store different configuration sets.
     """
 
     def __init__(
@@ -181,6 +230,7 @@ class ExplorationEngine:
         workers: int = 1,
         cache=None,
         max_states: int = DEFAULT_MAX_STATES,
+        reduction: str = "off",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -194,13 +244,15 @@ class ExplorationEngine:
         self.workers = workers
         self.cache = cache
         self.max_states = max_states
+        self.reduction = _check_reduction(reduction)
         #: Number of live (non-cached) explorations this engine ran.
         self.explorations = 0
 
     def __repr__(self) -> str:
         return (
             f"ExplorationEngine(strategy={self.strategy!r}, "
-            f"workers={self.workers}, cache={'on' if self.cache else 'off'})"
+            f"workers={self.workers}, cache={'on' if self.cache else 'off'}, "
+            f"reduction={self.reduction!r})"
         )
 
     # -- full exploration ---------------------------------------------------
@@ -212,10 +264,23 @@ class ExplorationEngine:
         canonicalise: bool = True,
         check_invariants: bool = False,
         on_config: Optional[Callable[[Config], Optional[bool]]] = None,
+        reduction: Optional[str] = None,
+        keep_configs: bool = True,
     ) -> ExploreResult:
-        """Run one exploration, honouring this engine's configuration."""
+        """Run one exploration, honouring this engine's configuration.
+
+        ``reduction`` overrides the engine's policy for this call —
+        checkers that consume the un-fused transition graph (refinement,
+        Owicki–Gries) pass ``reduction="off"`` explicitly.
+        ``keep_configs=False`` lets the sharded backend drop per-state
+        payloads once expanded (summary-only consumers); the sequential
+        backend keys its visited set by configuration and ignores it.
+        """
         self.explorations += 1
         cap = self.max_states if max_states is None else max_states
+        mode = (
+            self.reduction if reduction is None else _check_reduction(reduction)
+        )
         if self.workers > 1:
             from repro.engine.parallel import explore_parallel
 
@@ -227,6 +292,8 @@ class ExplorationEngine:
                 canonicalise=canonicalise,
                 check_invariants=check_invariants,
                 on_config=on_config,
+                reduction=mode,
+                keep_configs=keep_configs,
             )
         return explore_sequential(
             program,
@@ -236,6 +303,7 @@ class ExplorationEngine:
             check_invariants=check_invariants,
             on_config=on_config,
             strategy=self.strategy,
+            reduction=mode,
         )
 
     # -- cache-aware verification -------------------------------------------
@@ -249,14 +317,21 @@ class ExplorationEngine:
 
         With a cache configured, a warm entry is returned directly —
         zero re-exploration; otherwise the program is explored and the
-        summary persisted under its stable fingerprint.
+        summary persisted under its stable fingerprint (which includes
+        the engine's reduction policy — state counts differ across
+        policies, so their summaries never alias).
         """
         cap = self.max_states if max_states is None else max_states
         key = None
         if self.cache is not None:
             from repro.engine.fingerprint import cache_key
 
-            key = cache_key(program, max_states=cap, canonicalise=canonicalise)
+            key = cache_key(
+                program,
+                max_states=cap,
+                canonicalise=canonicalise,
+                reduction=self.reduction,
+            )
             hit = self.cache.get(key)
             # Truncated summaries depend on visit order (strategy and
             # worker count, which the key deliberately omits because
@@ -264,7 +339,12 @@ class ExplorationEngine:
             if hit is not None and not hit.truncated:
                 return hit
         summary = summarise(
-            self.explore(program, max_states=cap, canonicalise=canonicalise)
+            self.explore(
+                program,
+                max_states=cap,
+                canonicalise=canonicalise,
+                keep_configs=False,
+            )
         )
         if self.cache is not None and not summary.truncated:
             self.cache.put(key, summary)

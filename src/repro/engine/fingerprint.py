@@ -193,13 +193,17 @@ def program_fingerprint(program: Program) -> str:
 
 
 def cache_key(
-    program: Program, max_states: int, canonicalise: bool = True
+    program: Program,
+    max_states: int,
+    canonicalise: bool = True,
+    reduction: str = "off",
 ) -> str:
     """The persistent-cache key for one exploration request.
 
-    Exploration parameters that affect the result (the state cap and the
-    canonicalisation mode) are part of the key, as is the semantics
-    version salt.
+    Exploration parameters that affect the result — the state cap, the
+    canonicalisation mode, and the reduction policy (ε-closure changes
+    which configurations exist, so state/edge counts differ between
+    policies) — are part of the key, as is the semantics version salt.
     """
     payload = repr(
         (
@@ -207,6 +211,7 @@ def cache_key(
             program_fingerprint(program),
             int(max_states),
             bool(canonicalise),
+            str(reduction),
         )
     ).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()

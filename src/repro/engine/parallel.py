@@ -21,7 +21,9 @@ scalability bottleneck — down to dict operations:
   that discovers a state pickles it once, the master routes the bytes
   to the owning shard without ever deserialising them, and the owning
   worker unpickles once to expand it.  Objects are materialised
-  master-side only at the end (and for ``on_config`` callbacks).
+  master-side only at the end (and for ``on_config`` callbacks) — and
+  on the summary path (``keep_configs=False``) only the terminal/stuck
+  states a verdict consumes are retained and materialised at all.
 
 Consequently ``configs``/``edges``/``initial_key`` of a parallel result
 are keyed by digests — opaque identifiers, exactly how every consumer
@@ -65,11 +67,13 @@ def _init_worker(
     canonicalise: bool,
     check_invariants: bool,
     collect_edges: bool,
+    reduction: str = "off",
 ) -> None:
-    from repro.engine.core import key_function
+    from repro.engine.core import key_function, successor_function
 
     _WORKER["program"] = program
     _WORKER["keyf"] = key_function(program, canonicalise)
+    _WORKER["succf"] = successor_function(reduction)
     _WORKER["check_invariants"] = check_invariants
     _WORKER["collect_edges"] = collect_edges
 
@@ -84,12 +88,13 @@ def _expand_shard(shard: List[bytes]) -> List[Tuple]:
     produces many transitions into the same canonical state —
     deduplicating worker-side keeps the result pipe lean) and
     ``edge_labels`` is None unless the caller asked for the labelled
-    transition graph.
+    transition graph.  Successor generation honours the worker's
+    reduction policy: under ``"closure"`` the expanded edges are the
+    reduction layer's macro-steps, exactly as in the sequential backend.
     """
-    from repro.semantics.step import successors
-
     program: "Program" = _WORKER["program"]
     keyf = _WORKER["keyf"]
+    successors = _WORKER["succf"]
     check_invariants: bool = _WORKER["check_invariants"]
     collect_edges: bool = _WORKER["collect_edges"]
     out = []
@@ -138,9 +143,25 @@ def explore_parallel(
     canonicalise: bool = True,
     check_invariants: bool = False,
     on_config: Optional[Callable[["Config"], Optional[bool]]] = None,
+    reduction: str = "off",
+    keep_configs: bool = True,
 ) -> ExploreResult:
     """Explore ``program`` with ``workers`` processes, sharding the
-    frontier by canonical-key digest each round."""
+    frontier by canonical-key digest each round.
+
+    ``reduction="closure"`` makes the workers expand the reduction
+    layer's macro-steps (the master additionally ε-closes the initial
+    configuration), with counts and outcomes matching the sequential
+    backend under the same policy.
+
+    ``keep_configs=False`` is the summary path: a state's pickled blob
+    is dropped once it has been shipped for expansion (the visited set
+    needs only digests), and only terminal/stuck configurations — what
+    a verdict actually consumes — are materialised at the end.  The
+    result's ``configs`` map then holds just those, with
+    ``state_total`` carrying the true visited count; callers that need
+    the full map or the transition graph keep the default.
+    """
     from repro.engine.core import explore_sequential, key_function
 
     if workers <= 1:
@@ -151,20 +172,37 @@ def explore_parallel(
             canonicalise=canonicalise,
             check_invariants=check_invariants,
             on_config=on_config,
+            reduction=reduction,
         )
 
     from repro.semantics.config import initial_config
 
+    if collect_edges:
+        # Edge consumers address states by digest: the full map is the
+        # point of the exploration, so the summary path is off the table.
+        keep_configs = True
+
     start = time.perf_counter()
     keyf = key_function(program, canonicalise)
     init = initial_config(program)
+    if reduction == "closure":
+        from repro.semantics.reduce import close_config
+
+        init = close_config(program, init)
     init_key = stable_digest(keyf(init))
     init_blob = pickle.dumps(init, pickle.HIGHEST_PROTOCOL)
 
-    blobs: Dict[bytes, bytes] = {init_key: init_blob}
+    visited = {init_key}
+    blobs: Optional[Dict[bytes, bytes]] = (
+        {init_key: init_blob} if keep_configs else None
+    )
     edges: Optional[Dict[bytes, List]] = {} if collect_edges else None
     terminal_keys: List[bytes] = []
     stuck_keys: List[bytes] = []
+    # Summary path: remember the blobs of sink states as they are
+    # discovered (their frontier entry is in hand right then), so the
+    # final materialisation loop touches only terminals and stuck.
+    sink_blobs: Dict[bytes, bytes] = {}
     edge_count = 0
     truncated = False
     stopped = False
@@ -178,7 +216,9 @@ def explore_parallel(
     pool = ctx.Pool(
         processes=workers,
         initializer=_init_worker,
-        initargs=(program, canonicalise, check_invariants, collect_edges),
+        initargs=(
+            program, canonicalise, check_invariants, collect_edges, reduction,
+        ),
     )
     try:
         while frontier and not stopped and not truncated:
@@ -193,7 +233,7 @@ def explore_parallel(
             )
             frontier = []
             for shard, batch in zip(occupied, batches):
-                for (digest, _blob), row in zip(shard, batch):
+                for (digest, blob), row in zip(shard, batch):
                     is_terminal, n_edges, labels, targets = row
                     edge_count += n_edges
                     if collect_edges:
@@ -202,14 +242,18 @@ def explore_parallel(
                         (terminal_keys if is_terminal else stuck_keys).append(
                             digest
                         )
+                        if not keep_configs:
+                            sink_blobs[digest] = blob
                         continue
                     for tdigest, tblob in targets:
-                        if tdigest in blobs:
+                        if tdigest in visited:
                             continue
-                        if len(blobs) >= max_states:
+                        if len(visited) >= max_states:
                             truncated = True
                             continue
-                        blobs[tdigest] = tblob
+                        visited.add(tdigest)
+                        if keep_configs:
+                            blobs[tdigest] = tblob
                         frontier.append((tdigest, tblob))
                         if on_config is not None and not stopped:
                             if on_config(pickle.loads(tblob)):
@@ -218,12 +262,23 @@ def explore_parallel(
         pool.close()
         pool.join()
 
-    # Materialise the configuration map once, master-side; keep the
-    # original initial object so `initial is configs[initial_key]`.
-    configs: Dict[bytes, Config] = {
-        digest: pickle.loads(blob) for digest, blob in blobs.items()
-    }
-    configs[init_key] = init
+    if keep_configs:
+        # Materialise the configuration map once, master-side; keep the
+        # original initial object so `initial is configs[initial_key]`.
+        configs: Dict[bytes, Config] = {
+            digest: pickle.loads(blob) for digest, blob in blobs.items()
+        }
+        configs[init_key] = init
+        state_total = None
+    else:
+        # Summary path: unpickle sinks only — no O(|states|) loop.
+        configs = {
+            digest: pickle.loads(blob)
+            for digest, blob in sink_blobs.items()
+        }
+        if init_key in configs:
+            configs[init_key] = init
+        state_total = len(visited)
 
     return ExploreResult(
         program=program,
@@ -237,4 +292,5 @@ def explore_parallel(
         elapsed=time.perf_counter() - start,
         edges=edges,
         stopped=stopped,
+        state_total=state_total,
     )

@@ -41,9 +41,15 @@ class ExploreResult:
     #: True when an ``on_config`` callback requested an early halt; the
     #: result then covers only the states visited before the stop.
     stopped: bool = False
+    #: Explicit state total for summary-only explorations
+    #: (``keep_configs=False``), where ``configs`` holds only the
+    #: terminal/stuck configurations a verdict needs.
+    state_total: Optional[int] = None
 
     @property
     def state_count(self) -> int:
+        if self.state_total is not None:
+            return self.state_total
         return len(self.configs)
 
     def terminal_locals(self, *regs: Tuple[str, str]) -> set:

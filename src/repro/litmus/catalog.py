@@ -21,11 +21,35 @@ relaxed/release/acquire fragment:
   and release/acquire.
 * **CAS/FAI atomicity**: two competing RMWs never both succeed against
   the same write.
+
+Alongside the classic straight-line shapes, the catalog carries the
+*await/computed* family — the forms these tests actually take when run
+on hardware harnesses or compiled from real code: flag waits are
+``while (r == 0) r := f`` polling loops, values flow through local
+registers, and producers may be duplicated (idempotent publication).
+Semantically these add silent (ǫ) program steps and same-value writes,
+which is precisely the structure the reduction layer
+(:mod:`repro.semantics.reduce`) collapses; the reduction benchmark
+measures its state savings over this catalog.
+
+* **MP-await / MP-chain-await**: message passing with polling
+  consumers; publication verdicts match the straight-line forms.
+* **MP-ring**: n-thread circular message passing — every thread
+  publishes data + flag and polls its successor; under release/acquire
+  no stale data is observable anywhere on the ring.
+* **MP-2-producers**: two idempotent producers publish the same data;
+  the consumer must see it regardless of which release it acquires.
+* **IRIW-await**: the divergent-observation verdict survives when the
+  first read of each reader is a polling await.
+* **SB-computed**: store buffering with register-computed values and
+  trailing local arithmetic.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.engine.core import ExplorationEngine
@@ -46,6 +70,30 @@ class LitmusTest:
     weak: FrozenSet[Tuple]  # the outcomes distinguishing weak memory
     weak_allowed: bool  # does RC11 RAR allow the weak outcome(s)?
     description: str = ""
+
+
+def reduction_baseline() -> Optional[Dict[str, int]]:
+    """Per-test unreduced state counts from the committed reduction
+    benchmark baseline (``benchmarks/BENCH_reduction.json``).
+
+    Lets a reduced run report "states explored vs. states a full
+    exploration would store" without re-running the full exploration.
+    None when the baseline is not available (e.g. an installed package
+    without the benchmarks tree) — callers degrade gracefully.
+    """
+    path = (
+        Path(__file__).resolve().parents[3]
+        / "benchmarks"
+        / "BENCH_reduction.json"
+    )
+    try:
+        data = json.loads(path.read_text())
+        return {
+            name: int(entry["off"])
+            for name, entry in data["catalog"].items()
+        }
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
 
 
 def run_litmus(
@@ -72,7 +120,13 @@ def run_litmus(
     if use_cache and engine.cache is not None:
         summary = engine.run(test.build(), max_states=max_states)
     else:
-        summary = summarise(engine.explore(test.build(), max_states=max_states))
+        # Summary-only consumer: let the sharded backend drop per-state
+        # payloads once expanded rather than materialising the full map.
+        summary = summarise(
+            engine.explore(
+                test.build(), max_states=max_states, keep_configs=False
+            )
+        )
     outcomes = summary.terminal_locals(*test.regs)
     weak_observed = bool(outcomes & test.weak)
     return {
@@ -86,6 +140,7 @@ def run_litmus(
         and outcomes == set(test.allowed),
         "states": summary.state_count,
         "cached": summary.cached,
+        "reduction": engine.reduction,
     }
 
 
@@ -224,6 +279,132 @@ def _fai_race() -> Program:
     return Program(
         threads={"1": Thread(t1), "2": Thread(t2)},
         client_vars={"x": 0},
+    )
+
+
+# -- await/computed family ---------------------------------------------------
+
+
+def _await(reg: str, var: str, acquire: bool) -> A.Node:
+    """``reg := 0; while reg == 0: reg := var`` — a polling flag wait."""
+    return A.seq(
+        A.LocalAssign(reg, Lit(0)),
+        A.While(Reg(reg).eq(0), A.Read(reg, var, acquire=acquire)),
+    )
+
+
+def _mp_await(ra: bool) -> Program:
+    t1 = A.seq(A.Write("d", Lit(5)), A.Write("f", Lit(1), release=ra))
+    t2 = A.seq(_await("r1", "f", acquire=ra), A.Read("r2", "d"))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"d": 0, "f": 0},
+    )
+
+
+def _mp_await_two_consumers() -> Program:
+    t1 = A.seq(A.Write("d", Lit(5)), A.Write("f", Lit(1), release=True))
+    c1 = A.seq(_await("a", "f", acquire=True), A.Read("r1", "d"))
+    c2 = A.seq(_await("b", "f", acquire=True), A.Read("r2", "d"))
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(c1), "3": Thread(c2)},
+        client_vars={"d": 0, "f": 0},
+    )
+
+
+def _mp_two_producers() -> Program:
+    # Idempotent publication: both producers write the same data and
+    # flag values, so whichever release the consumer's await acquires,
+    # the data must be visible.
+    producer = A.seq(A.Write("d", Lit(5)), A.Write("f", Lit(1), release=True))
+    consumer = A.seq(_await("r1", "f", acquire=True), A.Read("r2", "d"))
+    return Program(
+        threads={
+            "1": Thread(producer),
+            "2": Thread(producer),
+            "3": Thread(consumer),
+        },
+        client_vars={"d": 0, "f": 0},
+    )
+
+
+def _mp_chain_await(hops: int) -> Program:
+    # Transitive message passing: each intermediate thread polls the
+    # previous flag before releasing the next one.
+    threads = {
+        "1": Thread(
+            A.seq(A.Write("d", Lit(5)), A.Write("f1", Lit(1), release=True))
+        )
+    }
+    for i in range(2, hops):
+        threads[str(i)] = Thread(
+            A.seq(
+                _await(f"a{i}", f"f{i - 1}", acquire=True),
+                A.Write(f"f{i}", Lit(1), release=True),
+            )
+        )
+    threads[str(hops)] = Thread(
+        A.seq(_await(f"a{hops}", f"f{hops - 1}", acquire=True), A.Read("r", "d"))
+    )
+    client_vars = {"d": 0}
+    client_vars.update({f"f{i}": 0 for i in range(1, hops)})
+    return Program(threads=threads, client_vars=client_vars)
+
+
+def _mp_ring(n: int, ra: bool) -> Program:
+    # Circular message passing: thread i publishes (d_i, f_i) and polls
+    # f_{i+1} before reading d_{i+1}.
+    threads = {}
+    client_vars = {}
+    for i in range(n):
+        j = (i + 1) % n
+        threads[str(i + 1)] = Thread(
+            A.seq(
+                A.Write(f"d{i}", Lit(5)),
+                A.Write(f"f{i}", Lit(1), release=ra),
+                _await(f"a{i}", f"f{j}", acquire=ra),
+                A.Read(f"r{i}", f"d{j}"),
+            )
+        )
+        client_vars[f"d{i}"] = 0
+        client_vars[f"f{i}"] = 0
+    return Program(threads=threads, client_vars=client_vars)
+
+
+def _iriw_await() -> Program:
+    w1 = A.Write("x", Lit(1), release=True)
+    w2 = A.Write("y", Lit(1), release=True)
+    r3 = A.seq(_await("a", "x", acquire=True), A.Read("b", "y", acquire=True))
+    r4 = A.seq(_await("c", "y", acquire=True), A.Read("d", "x", acquire=True))
+    return Program(
+        threads={
+            "1": Thread(w1),
+            "2": Thread(w2),
+            "3": Thread(r3),
+            "4": Thread(r4),
+        },
+        client_vars={"x": 0, "y": 0},
+    )
+
+
+def _sb_computed() -> Program:
+    # Store buffering as compiled code: values come from registers and
+    # each thread ends with local arithmetic over what it read.
+    t1 = A.seq(
+        A.LocalAssign("v", Lit(1)),
+        A.Write("x", Reg("v"), release=True),
+        A.Read("r1", "y", acquire=True),
+        A.LocalAssign("s1", Reg("r1") + 1),
+    )
+    t2 = A.seq(
+        A.LocalAssign("v", Lit(1)),
+        A.Write("y", Reg("v"), release=True),
+        A.Read("r2", "x", acquire=True),
+        A.LocalAssign("s2", Reg("r2") + 1),
+    )
+    return Program(
+        threads={"1": Thread(t1), "2": Thread(t2)},
+        client_vars={"x": 0, "y": 0},
     )
 
 
@@ -432,5 +613,123 @@ LITMUS_TESTS: Tuple[LitmusTest, ...] = (
         weak=frozenset({(0, 0)}),
         weak_allowed=False,
         description="two FAIs dispense distinct values",
+    ),
+    # -- await/computed family ----------------------------------------------
+    LitmusTest(
+        name="MP-await-RA",
+        build=lambda: _mp_await(True),
+        regs=(("2", "r2"),),
+        # The await exits only after acquiring the released flag, so the
+        # data is certainly visible.
+        allowed=frozenset({(5,)}),
+        weak=frozenset({(0,)}),
+        weak_allowed=False,
+        description="message passing with a polling acquire loop",
+    ),
+    LitmusTest(
+        name="MP-await-relaxed",
+        build=lambda: _mp_await(False),
+        regs=(("2", "r2"),),
+        allowed=frozenset({(0,), (5,)}),
+        weak=frozenset({(0,)}),
+        weak_allowed=True,
+        description="a relaxed polling loop does not publish the data",
+    ),
+    LitmusTest(
+        name="MP-await-2-consumers",
+        build=_mp_await_two_consumers,
+        regs=(("2", "r1"), ("3", "r2")),
+        allowed=frozenset({(5, 5)}),
+        weak=frozenset({(0, 0), (0, 5), (5, 0)}),
+        weak_allowed=False,
+        description="both polling consumers observe the publication",
+    ),
+    LitmusTest(
+        name="MP-2-producers",
+        build=_mp_two_producers,
+        regs=(("3", "r2"),),
+        # Whichever producer's release the consumer acquires, that
+        # producer had already written d = 5 — and both write the same
+        # values, so the stale read is forbidden.
+        allowed=frozenset({(5,)}),
+        weak=frozenset({(0,)}),
+        weak_allowed=False,
+        description="idempotent dual publication: either release suffices",
+    ),
+    LitmusTest(
+        name="MP-chain-await-3",
+        build=lambda: _mp_chain_await(3),
+        regs=(("3", "r"),),
+        allowed=frozenset({(5,)}),
+        weak=frozenset({(0,)}),
+        weak_allowed=False,
+        description="transitive message passing through polling hops",
+    ),
+    LitmusTest(
+        name="MP-chain-await-4",
+        build=lambda: _mp_chain_await(4),
+        regs=(("4", "r"),),
+        allowed=frozenset({(5,)}),
+        weak=frozenset({(0,)}),
+        weak_allowed=False,
+        description="three-hop polling publication chain",
+    ),
+    LitmusTest(
+        name="MP-ring-2-RA",
+        build=lambda: _mp_ring(2, True),
+        regs=(("1", "r0"), ("2", "r1")),
+        allowed=frozenset({(5, 5)}),
+        weak=frozenset({(0, 0), (0, 5), (5, 0)}),
+        weak_allowed=False,
+        description="two-thread publication ring: no stale data anywhere",
+    ),
+    LitmusTest(
+        name="MP-ring-2-relaxed",
+        build=lambda: _mp_ring(2, False),
+        regs=(("1", "r0"), ("2", "r1")),
+        allowed=frozenset({(a, b) for a in (0, 5) for b in (0, 5)}),
+        weak=frozenset({(0, 0)}),
+        weak_allowed=True,
+        description="a relaxed ring publishes nothing",
+    ),
+    LitmusTest(
+        name="MP-ring-3-RA",
+        build=lambda: _mp_ring(3, True),
+        regs=(("1", "r0"), ("2", "r1"), ("3", "r2")),
+        allowed=frozenset({(5, 5, 5)}),
+        weak=frozenset({(0, 0, 0), (5, 5, 0), (0, 5, 5), (5, 0, 5)}),
+        weak_allowed=False,
+        description="three-thread publication ring under release/acquire",
+    ),
+    LitmusTest(
+        name="MP-ring-3-relaxed",
+        build=lambda: _mp_ring(3, False),
+        regs=(("1", "r0"), ("2", "r1"), ("3", "r2")),
+        allowed=frozenset(
+            {(a, b, c) for a in (0, 5) for b in (0, 5) for c in (0, 5)}
+        ),
+        weak=frozenset({(0, 0, 0)}),
+        weak_allowed=True,
+        description="three-thread relaxed ring: every stale combination",
+    ),
+    LitmusTest(
+        name="IRIW-await-RA",
+        build=_iriw_await,
+        regs=(("3", "b"), ("4", "d")),
+        # After awaiting its own flag each reader may still miss the
+        # other: the divergent observation (0, 0) survives polling.
+        allowed=frozenset({(b, d) for b in (0, 1) for d in (0, 1)}),
+        weak=frozenset({(0, 0)}),
+        weak_allowed=True,
+        description="IRIW with polling first reads still diverges",
+    ),
+    LitmusTest(
+        name="SB-computed",
+        build=_sb_computed,
+        regs=(("1", "r1"), ("2", "r2")),
+        allowed=frozenset(_ALL_01),
+        weak=frozenset({(0, 0)}),
+        weak_allowed=True,
+        description="store buffering survives register-computed values",
     ),
 )

@@ -76,7 +76,12 @@ def check_proof_outline(
     """Check initial validity, local correctness, interference freedom and
     the terminal postcondition of ``outline``."""
     program = outline.program
-    result = explore(program, max_states=max_states)
+    # Owicki–Gries obligations are stated per (statement, assertion)
+    # pair at intermediate program points — silent steps (the guard
+    # evaluations and local assignments the assertions annotate) are
+    # exactly what is being checked, so the enumeration explicitly
+    # requests the unreduced configuration graph.
+    result = explore(program, max_states=max_states, reduction="off")
     failures: List[OGFailure] = []
     obligations = 0
     transitions = 0

@@ -43,6 +43,7 @@ def read_steps(
     var: str,
     acquire: bool,
     forbid: Value = NO_FORBID,
+    collapse_same_value: bool = False,
 ) -> Iterator[MemStep]:
     """The ``Read`` rule: ``a ∈ {rd(x, n), rdA(x, n)}``.
 
@@ -56,13 +57,35 @@ def read_steps(
     expected value ``u`` is a relaxed read of any observable value
     ``≠ u``, which the combined semantics expresses as
     ``read_steps(..., forbid=u)``.
+
+    ``collapse_same_value`` is the reduction layer's covering-read
+    prune: among *non-synchronising* candidates, only the mo-earliest
+    operation of each written value is enumerated.  Two such reads
+    perform the same action, bind the same register value and differ
+    only in where the reader's viewfront of ``var`` lands; the caller
+    asserts (via the continuation summary in
+    :mod:`repro.semantics.step`) that this viewfront entry is never
+    consulted nor published again, so the skipped successors are
+    covering-equivalent to the kept one — same enabled transitions,
+    same terminal valuations, same stuck-ness everywhere downstream —
+    and are skipped *here*, before any successor component state is
+    constructed or canonically keyed.  Synchronising candidates also
+    merge the write's modification view and are never collapsed.
     """
+    seen_values = None
     for w in gamma.obs(tid, var):
         n = wrval(w.act)
         if forbid is not NO_FORBID and n == forbid:
             continue
-        action = mk_read(var, n, tid, acquire=acquire)
         sync = is_releasing(w.act) and acquire
+        if collapse_same_value and not sync:
+            if seen_values is None:
+                seen_values = {n}
+            elif n in seen_values:
+                continue
+            else:
+                seen_values.add(n)
+        action = mk_read(var, n, tid, acquire=acquire)
         if sync:
             mv = gamma.mview[w]
             tview2 = merge_views(gamma.thread_view_map(tid), mv)

@@ -60,12 +60,21 @@ class _Side:
 
 
 def _prepare(program: Program, max_states: int, engine=None) -> _Side:
+    # The simulation game matches individual concrete steps against
+    # abstract stuttering: it needs the un-fused transition graph (and
+    # the intermediate configurations whose program counters pin the
+    # alignment), so reduction is explicitly off regardless of the
+    # engine's configured policy.
     if engine is not None:
         result = engine.explore(
-            program, max_states=max_states, collect_edges=True
+            program, max_states=max_states, collect_edges=True,
+            reduction="off",
         )
     else:
-        result = explore(program, max_states=max_states, collect_edges=True)
+        result = explore(
+            program, max_states=max_states, collect_edges=True,
+            reduction="off",
+        )
     if result.truncated:
         raise VerificationError(
             "state space truncated during simulation; raise max_states"

@@ -110,12 +110,21 @@ def client_traces(
     routes exploration through a configured
     :class:`repro.engine.ExplorationEngine`.
     """
+    # Trace enumeration consumes the un-fused transition graph: the
+    # client projection changes across silent steps (local assignments
+    # are client-observable), so ε-closure would alter the stutter
+    # structure.  Request reduction="off" explicitly, overriding
+    # whatever policy the supplied engine was configured with.
     if engine is not None:
         result = engine.explore(
-            program, max_states=max_states, collect_edges=True
+            program, max_states=max_states, collect_edges=True,
+            reduction="off",
         )
     else:
-        result = explore(program, max_states=max_states, collect_edges=True)
+        result = explore(
+            program, max_states=max_states, collect_edges=True,
+            reduction="off",
+        )
     if result.truncated:
         from repro.util.errors import VerificationError
 

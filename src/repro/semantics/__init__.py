@@ -8,26 +8,42 @@ against ``γ`` and library steps against ``β``.
 ``explore`` performs exhaustive breadth-first enumeration of the
 reachable configuration space with canonical state hashing (``canon``),
 which is the engine behind every verification result in this repository.
-``random_exec`` provides a statistical sampling mode for programs too
-large to enumerate.
+``reduce`` is the sound state-space reduction layer (ε-closure of
+silent steps plus covering-read pruning) the engine backends apply
+under ``reduction="closure"``.  ``random_exec`` provides a statistical
+sampling mode for programs too large to enumerate.
 """
 
 from repro.semantics.canon import canonical_key
 from repro.semantics.config import Config, initial_config
 from repro.semantics.explore import ExploreResult, explore, final_outcomes, reachable
 from repro.semantics.random_exec import random_run
-from repro.semantics.step import Transition, successors, thread_successors
+from repro.semantics.reduce import (
+    REDUCTIONS,
+    close_config,
+    reduced_successors,
+)
+from repro.semantics.step import (
+    Transition,
+    silent_step,
+    successors,
+    thread_successors,
+)
 
 __all__ = [
     "Config",
     "ExploreResult",
+    "REDUCTIONS",
     "Transition",
     "canonical_key",
+    "close_config",
     "explore",
     "final_outcomes",
     "initial_config",
     "random_run",
     "reachable",
+    "reduced_successors",
+    "silent_step",
     "successors",
     "thread_successors",
 ]

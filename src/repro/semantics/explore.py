@@ -39,6 +39,7 @@ def explore(
     canonicalise: bool = True,
     check_invariants: bool = False,
     on_config: Optional[Callable[[Config], Optional[bool]]] = None,
+    reduction: str = "off",
 ) -> ExploreResult:
     """Enumerate every reachable configuration of ``program``.
 
@@ -63,6 +64,13 @@ def explore(
         Returning a truthy value halts exploration immediately (the
         result is then marked ``stopped``) — used by :func:`reachable`
         to stop at the first witness.
+    reduction:
+        ``"off"`` (default) or ``"closure"`` — the ε-closure +
+        covering-read reduction (:mod:`repro.semantics.reduce`).
+        Closure preserves terminal outcomes, stuck-ness and
+        register-level verdicts but fuses intermediate silent
+        configurations away: they are not stored, counted, or passed to
+        ``on_config``/``check_invariants``.
     """
     return explore_sequential(
         program,
@@ -71,6 +79,7 @@ def explore(
         canonicalise=canonicalise,
         check_invariants=check_invariants,
         on_config=on_config,
+        reduction=reduction,
     )
 
 
@@ -78,6 +87,7 @@ def reachable(
     program: Program,
     predicate: Callable[[Config], bool],
     max_states: int = 500_000,
+    reduction: str = "off",
 ) -> Optional[Config]:
     """Return a reachable configuration satisfying ``predicate`` or None.
 
@@ -87,6 +97,15 @@ def reachable(
     witness the answer is unknown, and pretending otherwise would let a
     truncated search masquerade as one — that case raises
     :class:`VerificationError` instead.
+
+    ``reduction="closure"`` evaluates the predicate on ε-closed
+    configurations only — a subset of the unreduced reachable set.  It
+    is sound for predicates that are insensitive to a thread's position
+    inside a silent chain (e.g. properties of terminal configurations,
+    or of state at visible-step boundaries); predicates that must see
+    intermediate silent configurations — a register value that is
+    immediately overwritten, an untaken branch — need the default
+    ``"off"``.
     """
     witness: list = []
 
@@ -96,7 +115,9 @@ def reachable(
             return True
         return False
 
-    result = explore(program, max_states=max_states, on_config=probe)
+    result = explore(
+        program, max_states=max_states, on_config=probe, reduction=reduction
+    )
     if witness:
         return witness[0]
     if result.truncated:
@@ -112,6 +133,7 @@ def assert_invariant(
     program: Program,
     invariant: Callable[[Config], bool],
     max_states: int = 500_000,
+    reduction: str = "off",
 ) -> ExploreResult:
     """Check a safety property on every reachable configuration.
 
@@ -120,6 +142,10 @@ def assert_invariant(
     found no violation also raises — it checked only part of the space,
     so it proves nothing (silently returning would report a partial
     search as a successful verification).
+
+    Under ``reduction="closure"`` the invariant is checked on the
+    ε-closed configurations only (see :func:`reachable` for when that
+    is equivalent).
     """
     violation: list = []
 
@@ -129,7 +155,9 @@ def assert_invariant(
             return True
         return False
 
-    result = explore(program, max_states=max_states, on_config=probe)
+    result = explore(
+        program, max_states=max_states, on_config=probe, reduction=reduction
+    )
     if violation:
         raise VerificationError(
             "invariant violated", counterexample=violation[0]
@@ -146,9 +174,15 @@ def final_outcomes(
     program: Program,
     regs: Tuple[Tuple[str, str], ...],
     max_states: int = 500_000,
+    reduction: str = "off",
 ) -> set:
-    """The set of terminal valuations of ``regs`` ((tid, reg) pairs)."""
-    result = explore(program, max_states=max_states)
+    """The set of terminal valuations of ``regs`` ((tid, reg) pairs).
+
+    Terminal outcome sets (and deadlock detection) are preserved
+    exactly by ``reduction="closure"`` — the cheap way to compute them
+    on silent-step-heavy programs.
+    """
+    result = explore(program, max_states=max_states, reduction=reduction)
     if result.truncated:
         raise VerificationError("state space truncated; raise max_states")
     if result.stuck:

@@ -1,0 +1,199 @@
+"""Sound state-space reduction: ε-closure and covering-read pruning.
+
+The explorer's state count is dominated by interleavings of *invisible*
+work: silent (ǫ) transitions — ``LocalAssign``/``If``/``While``
+bookkeeping — advance only the stepping thread's continuation and local
+state, yet ordinary breadth-first enumeration multiplies the frontier by
+every ordering of them against every other thread.  This module removes
+that factor without changing what exploration *verifies*.
+
+ε-closure
+---------
+:func:`reduced_successors` fuses each visible step with the stepping
+thread's maximal chain of subsequent silent steps (and
+:func:`close_config` normalises the initial configuration the same way),
+so purely-local interleavings never enter the frontier.
+
+**Soundness.**  Let ``t --ǫ--> t'`` be a silent step of thread ``t``.
+By construction (:func:`repro.semantics.step.silent_step`):
+
+1. *Locality*: the step is a function of ``(cmds[t], locals[t])`` alone
+   and updates only those two fields — ``γ`` and ``β`` are untouched
+   (asserted below on every closure).
+2. *Determinism*: a command's step set is homogeneous — a silent-headed
+   command admits exactly one step, so the silent chain of a thread is
+   a deterministic sequence, and the *maximal* chain is well defined
+   (up to the divergence cut-off below).
+3. *Commutation*: any step of another thread ``u`` reads and writes
+   ``(cmds[u], locals[u], γ, β)`` — disjoint from the silent step's
+   footprint except for ``γ``/``β``, which the silent step neither
+   reads nor writes.  Hence ``ǫ_t ; a_u`` and ``a_u ; ǫ_t`` reach the
+   same configuration from the same source: silent steps are *left and
+   right movers*.
+
+(1)–(3) make the closure confluent: executing each thread's pending
+silent chain in any interleaving reaches the unique configuration in
+which no thread has a silent step pending, and every run of the original
+system is a run of the reduced system with the silent steps commuted to
+immediately follow their thread's previous visible step.  The reduced
+system therefore reaches exactly the closed images of the original
+reachable set — terminal configurations (which have no steps at all, so
+are closed and preserved bit-for-bit, with their register valuations),
+stuck configurations (stuck ⇒ no silent step pending ⇒ closed) and all
+invariant verdicts over them are identical.  What changes is which
+*intermediate* configurations exist to be stored, counted, or observed
+by ``on_config``/``check_invariants`` callbacks.
+
+A silent chain that revisits a ``(continuation, locals)`` pair — a
+purely-local infinite loop — is cut off at the revisit: the offending
+configuration keeps its silent transition as an ordinary (macro-)edge
+and exploration degrades to the unreduced behaviour for that thread,
+which keeps the reduction terminating on pathological inputs.
+
+Covering-read pruning
+---------------------
+Among the read-from choices of a single ``Read`` (or failing CAS), two
+non-synchronising candidates with the same written value produce
+successors that differ *only* in where the reader's viewfront of the
+read variable lands.  When the thread's continuation can neither access
+that variable again nor publish its view map (no write/update/method/
+lib step — any of which records the whole map in a new operation's
+modification view), that viewfront entry is unobservable: the
+successors are covering-equivalent, and only the mo-earliest candidate
+per value is generated (``collapse_same_value`` in
+:func:`repro.memory.transitions.read_steps` — the skip happens before
+the successor component state is even constructed).  The gate is
+computed per read site from memoised continuation summaries
+(:func:`repro.semantics.step._node_summary`).
+
+Policy
+------
+Exploration backends accept ``reduction="off"`` (historical semantics,
+the default) or ``reduction="closure"`` (ε-closure + covering-read
+prune).  The reduction changes which configurations are stored — it is
+part of the persistent result-cache key — and consumers that need the
+un-fused transition graph (the refinement checkers and the Owicki–Gries
+enumerator, whose assertions live at intermediate program points)
+explicitly request ``reduction="off"`` at their call sites.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.program import Program
+from repro.semantics.config import Config
+from repro.semantics.step import Transition, silent_step, successors
+
+#: Recognised reduction policies.
+REDUCTIONS = ("off", "closure")
+
+#: Cut-off for one fused silent chain.  Past this many fused steps (or
+#: on an exact ``(continuation, locals)`` revisit) the remaining silent
+#: work is left in place as an ordinary ǫ-edge, so divergent local
+#: loops whose locals change every iteration (an unbounded counter) —
+#: and pathologically long terminating chains — degrade to unreduced
+#: exploration, which the ``max_states`` cap bounds, instead of
+#: spinning or allocating inside a single successor call.
+MAX_SILENT_CHAIN = 4096
+
+
+def validate_reduction(reduction: str) -> str:
+    """Check a reduction policy spec, returning it unchanged."""
+    if reduction not in REDUCTIONS:
+        raise ValueError(
+            f"unknown reduction policy {reduction!r}; "
+            f"expected one of {', '.join(REDUCTIONS)}"
+        )
+    return reduction
+
+
+def close_thread(cfg: Config, tid: str) -> Config:
+    """Run thread ``tid``'s maximal chain of silent steps.
+
+    Deterministic by homogeneity of the step relation; diverging silent
+    chains (a purely-local loop) are cut off at the first revisited
+    ``(continuation, locals)`` pair or after :data:`MAX_SILENT_CHAIN`
+    fused steps, whichever comes first.  The closure contract — every
+    fused step is silent (``silent_step`` yields no action at all) and
+    leaves both component states untouched — is asserted at the call
+    sites (:func:`close_config`, :func:`reduced_successors`).
+    """
+    cmd = cfg.cmds[tid]
+    if cmd is None:
+        return cfg
+    ls = cfg.locals[tid]
+    visited = None
+    changed = False
+    fused = 0
+    while cmd is not None and fused < MAX_SILENT_CHAIN:
+        step = silent_step(cmd, ls)
+        if step is None:
+            break
+        if visited is None:
+            visited = {(cmd, ls)}
+        elif (cmd, ls) in visited:
+            break  # divergent ǫ-loop: leave the silent edge in place
+        else:
+            visited.add((cmd, ls))
+        _comp, cmd, ls = step
+        changed = True
+        fused += 1
+    if not changed:
+        return cfg
+    return Config(
+        cmds=cfg.cmds.set(tid, cmd),
+        locals=cfg.locals.set(tid, ls),
+        gamma=cfg.gamma,
+        beta=cfg.beta,
+    )
+
+
+def close_config(program: Program, cfg: Config) -> Config:
+    """ε-close every thread (the initial-configuration normalisation).
+
+    By confluence (module docstring) the order of threads is
+    irrelevant; afterwards no thread has a silent step pending, and
+    :func:`reduced_successors` maintains that invariant by closing the
+    stepping thread of each successor.
+    """
+    for tid in program.tids:
+        closed = close_thread(cfg, tid)
+        # Closure contract, checked at the interface: a fused silent
+        # chain must leave both component states untouched (it fires if
+        # close_thread is ever changed to run a non-silent step).
+        assert closed.gamma is cfg.gamma and closed.beta is cfg.beta, (
+            f"ε-closing thread {tid} altered a component state — silent "
+            "steps must only rewrite the thread's continuation and locals"
+        )
+        cfg = closed
+    return cfg
+
+
+def reduced_successors(program: Program, cfg: Config) -> List[Transition]:
+    """The macro-step successors of a closed configuration.
+
+    Each underlying transition (with the covering-read prune enabled)
+    is fused with the stepping thread's silent suffix; the macro-edge
+    keeps the visible action and thread/component tags.  Callers must
+    hand in closed configurations (the engine closes the initial one) —
+    every target returned is then closed as well.
+    """
+    out = successors(program, cfg, prune=True)
+    for i, tr in enumerate(out):
+        closed = close_thread(tr.target, tr.tid)
+        if closed is not tr.target:
+            # Closure contract, checked at the interface: the fused
+            # silent suffix carries no action by construction, and must
+            # not have touched the component states the visible step
+            # produced (fires if close_thread ever runs a non-silent
+            # step).
+            assert (
+                closed.gamma is tr.target.gamma
+                and closed.beta is tr.target.beta
+            ), "ε-closure altered a component state"
+            # Fresh Transition rather than in-place rebinding:
+            # transitions are hashable value objects and must stay
+            # immutable once handed out.
+            out[i] = Transition(tr.tid, tr.component, tr.action, closed)
+    return out

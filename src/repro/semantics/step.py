@@ -6,12 +6,21 @@ read-from and placement nondeterminism), and abstract method transitions
 (Section 4).  Steps arising inside a :class:`~repro.lang.ast.LibBlock` or
 from a :class:`~repro.lang.ast.MethodCall` are *library* steps: they
 execute against ``β`` with ``γ`` as context, and are tagged ``'L'``.
+
+Silent steps are factored into :func:`silent_step`, the single source of
+truth shared with the reduction layer (:mod:`repro.semantics.reduce`):
+a command's step set is *homogeneous* — either its head admits exactly
+one silent step (``LocalAssign``/``If``/``While`` bookkeeping, possibly
+under ``Seq``/``Labeled``/``LibBlock`` wrappers) or every step it admits
+is a visible memory/method step.  ``_steps`` therefore consults
+``silent_step`` first and only enumerates the visible rules when it
+returns nothing, so the ǫ-fragment cannot drift between ordinary and
+ε-closed successor generation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.lang import ast as A
 from repro.lang.expr import eval_expr
@@ -24,14 +33,46 @@ from repro.util.errors import SemanticsError
 from repro.util.fmap import FMap
 
 
-@dataclass(frozen=True)
 class Transition:
-    """One step of the combined semantics."""
+    """One step of the combined semantics.
 
-    tid: str
-    component: str  # 'C' for client steps, 'L' for library steps
-    action: Optional[Action]  # None for silent (ǫ) steps
-    target: Config
+    A slotted value class (matching the :class:`~repro.memory.actions.Op`
+    treatment): transitions are created once per edge on the explorer's
+    hottest allocation path and never mutated.
+    """
+
+    __slots__ = ("tid", "component", "action", "target")
+
+    def __init__(
+        self,
+        tid: str,
+        component: str,  # 'C' for client steps, 'L' for library steps
+        action: Optional[Action],  # None for silent (ǫ) steps
+        target: Config,
+    ) -> None:
+        self.tid = tid
+        self.component = component
+        self.action = action
+        self.target = target
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Transition):
+            return (
+                self.tid == other.tid
+                and self.component == other.component
+                and self.action == other.action
+                and self.target == other.target
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.tid, self.component, self.action, self.target))
+
+    def __repr__(self) -> str:
+        return (
+            f"Transition(tid={self.tid!r}, component={self.component!r}, "
+            f"action={self.action!r}, target={self.target!r})"
+        )
 
 
 #: Internal: (action, component, cmd', ls', γ', β').
@@ -39,25 +80,61 @@ _ThreadStep = Tuple[
     Optional[Action], str, A.Com, FMap, ComponentState, ComponentState
 ]
 
+#: Continuation summary for the covering-read prune: the set of global
+#: variables the continuation may still access, and whether it may still
+#: *publish* thread views (write/update/method/lib steps record the
+#: stepping thread's whole view map in new operations' modification
+#: views, so any of them can export an otherwise-dead viewfront entry).
+_Rest = Tuple[FrozenSet, bool]
 
-def successors(program: Program, cfg: Config) -> List[Transition]:
-    """All ``=⇒`` successors of ``cfg`` across every thread."""
+_REST_EMPTY: _Rest = (frozenset(), False)
+
+
+def successors(
+    program: Program, cfg: Config, prune: bool = False
+) -> List[Transition]:
+    """All ``=⇒`` successors of ``cfg`` across every thread.
+
+    One shared output list, appended to directly per thread — no
+    per-thread generator materialisation and second ``extend`` pass.
+    ``prune=True`` enables the covering-read prune (sound only as part
+    of the reduction layer; see :mod:`repro.semantics.reduce`).
+    """
     out: List[Transition] = []
+    append = out.append
+    rest = _REST_EMPTY if prune else None
     for tid in program.tids:
-        out.extend(thread_successors(program, cfg, tid))
+        cmd = cfg.cmds[tid]
+        if cmd is None:
+            continue
+        ls = cfg.locals[tid]
+        for action, comp, cmd2, ls2, gamma2, beta2 in _steps(
+            program, cmd, tid, ls, cfg.gamma, cfg.beta, in_lib=False,
+            rest=rest,
+        ):
+            append(
+                Transition(
+                    tid, comp, action,
+                    cfg.with_thread(tid, cmd2, ls2, gamma2, beta2),
+                )
+            )
     return out
 
 
 def thread_successors(
     program: Program, cfg: Config, tid: str
 ) -> Iterator[Transition]:
-    """Successors contributed by thread ``tid``."""
+    """Successors contributed by thread ``tid`` (always unpruned — the
+    covering-read prune is only sound composed with the ε-closure, so
+    it is reachable solely through ``successors(prune=True)`` inside
+    the reduction layer)."""
     cmd = cfg.cmds[tid]
     if cmd is None:
         return
     ls = cfg.locals[tid]
     for action, comp, cmd2, ls2, gamma2, beta2 in _steps(
-        program, cmd, tid, ls, cfg.gamma, cfg.beta, in_lib=False
+        program, cmd, tid, ls, cfg.gamma, cfg.beta, in_lib=False,
+        rest=None,
     ):
         yield Transition(
             tid=tid,
@@ -65,6 +142,134 @@ def thread_successors(
             action=action,
             target=cfg.with_thread(tid, cmd2, ls2, gamma2, beta2),
         )
+
+
+def silent_step(
+    cmd: A.Node, ls: FMap, in_lib: bool = False
+) -> Optional[Tuple[str, Optional[A.Node], FMap]]:
+    """The unique silent (ǫ) step of ``cmd``, or None if its head is a
+    memory/method command.
+
+    Returns ``(component, cmd', ls')``.  Silent steps touch only the
+    stepping thread's continuation and local state — never ``γ`` or
+    ``β`` — and are deterministic: ``LocalAssign``, ``If`` and ``While``
+    each admit exactly one step, a function of ``ls`` alone, and the
+    ``Seq``/``Labeled``/``LibBlock`` wrappers preserve uniqueness.
+    """
+    if isinstance(cmd, A.LocalAssign):
+        comp = "L" if in_lib else "C"
+        return comp, None, ls.set(cmd.reg, eval_expr(cmd.expr, ls))
+
+    if isinstance(cmd, A.If):
+        comp = "L" if in_lib else "C"
+        branch = (
+            cmd.then_branch if eval_expr(cmd.cond, ls) else cmd.else_branch
+        )
+        return comp, branch, ls
+
+    if isinstance(cmd, A.While):
+        comp = "L" if in_lib else "C"
+        if eval_expr(cmd.cond, ls):
+            return comp, A.Seq(cmd.body, cmd), ls
+        return comp, None, ls
+
+    if isinstance(cmd, A.Seq):
+        inner = silent_step(cmd.first, ls, in_lib)
+        if inner is None:
+            return None
+        comp, first2, ls2 = inner
+        return comp, A.seq_cons(first2, cmd.second), ls2
+
+    if isinstance(cmd, A.Labeled):
+        inner = silent_step(cmd.body, ls, in_lib)
+        if inner is None:
+            return None
+        comp, body2, ls2 = inner
+        wrapped = A.Labeled(cmd.label, body2) if body2 is not None else None
+        return comp, wrapped, ls2
+
+    if isinstance(cmd, A.LibBlock):
+        inner = silent_step(cmd.body, ls, in_lib=True)
+        if inner is None:
+            return None
+        _comp, body2, ls2 = inner
+        wrapped = (
+            A.LibBlock(body2, cmd.public_regs) if body2 is not None else None
+        )
+        return "L", wrapped, ls2
+
+    return None
+
+
+#: Memoised continuation summaries.  AST nodes are immutable and loop
+#: unfoldings rebuild structurally-equal suffixes, so value-keyed
+#: memoisation hits across the whole exploration.  Bounded by a crude
+#: flush (matching the fingerprint sub-digest cache) so long-lived
+#: processes exploring many distinct programs don't retain every dead
+#: program's AST.
+_SUMMARIES: Dict[A.Node, _Rest] = {}
+_SUMMARIES_MAX = 100_000
+
+
+def _node_summary(cmd: Optional[A.Node]) -> _Rest:
+    """``(vars possibly accessed, may publish views)`` of a command.
+
+    Conservative over all executions: branches union, loops summarise
+    their bodies.  ``MethodCall`` (and any unknown node) counts as
+    publishing — abstract methods execute against ``β`` with arbitrary
+    variable footprints.
+    """
+    if cmd is None:
+        return _REST_EMPTY
+    cached = _SUMMARIES.get(cmd)
+    if cached is not None:
+        return cached
+    if isinstance(cmd, A.LocalAssign):
+        summary: _Rest = _REST_EMPTY
+    elif isinstance(cmd, A.Read):
+        summary = (frozenset((cmd.var,)), False)
+    elif isinstance(cmd, (A.Write, A.Cas, A.Fai)):
+        summary = (frozenset((cmd.var,)), True)
+    elif isinstance(cmd, A.Seq):
+        summary = _combine(_node_summary(cmd.first), _node_summary(cmd.second))
+    elif isinstance(cmd, A.If):
+        summary = _combine(
+            _node_summary(cmd.then_branch), _node_summary(cmd.else_branch)
+        )
+    elif isinstance(cmd, A.While):
+        summary = _node_summary(cmd.body)
+    elif isinstance(cmd, (A.Labeled, A.LibBlock)):
+        summary = _node_summary(cmd.body)
+    else:  # MethodCall and anything unforeseen: assume everything.
+        summary = (frozenset(), True)
+    if len(_SUMMARIES) >= _SUMMARIES_MAX:
+        _SUMMARIES.clear()
+    _SUMMARIES[cmd] = summary
+    return summary
+
+
+def _combine(a: _Rest, b: _Rest) -> _Rest:
+    if b is _REST_EMPTY:
+        return a
+    if a is _REST_EMPTY:
+        return b
+    return a[0] | b[0], a[1] or b[1]
+
+
+def _collapse_ok(var: str, rest: Optional[_Rest]) -> bool:
+    """Whether the covering-read prune applies to a read of ``var``.
+
+    True when the thread's continuation can neither access ``var`` again
+    (so the advanced viewfront is never consulted) nor publish its view
+    map (so the front cannot escape into another operation's
+    modification view).  Under that condition the only successor
+    difference between same-value, non-synchronising read choices is an
+    unobservable viewfront entry — the states are covering-equivalent.
+    """
+    if rest is None:
+        return False
+    vars_, publishes = rest
+    return not publishes and var not in vars_
 
 
 def _steps(
@@ -75,14 +280,24 @@ def _steps(
     gamma: ComponentState,
     beta: ComponentState,
     in_lib: bool,
+    rest: Optional[_Rest] = None,
 ) -> Iterator[_ThreadStep]:
+    """All steps of ``cmd``.
+
+    ``rest`` is the covering-read prune context: None disables the
+    prune (the default, byte-identical to the historical semantics); a
+    summary tuple carries what the *rest of the thread* beyond ``cmd``
+    may still do, maintained through ``Seq`` descent.
+    """
+    silent = silent_step(cmd, ls, in_lib)
+    if silent is not None:
+        comp2, cmd2, ls2 = silent
+        yield None, comp2, cmd2, ls2, gamma, beta
+        return
+
     comp = "L" if in_lib else "C"
 
-    if isinstance(cmd, A.LocalAssign):
-        value = eval_expr(cmd.expr, ls)
-        yield None, comp, None, ls.set(cmd.reg, value), gamma, beta
-
-    elif isinstance(cmd, A.Write):
+    if isinstance(cmd, A.Write):
         value = eval_expr(cmd.expr, ls)
         exec_state, ctx_state = (beta, gamma) if in_lib else (gamma, beta)
         for action, _w, exec2, ctx2 in write_steps(
@@ -94,7 +309,8 @@ def _steps(
     elif isinstance(cmd, A.Read):
         exec_state, ctx_state = (beta, gamma) if in_lib else (gamma, beta)
         for action, _w, exec2, ctx2 in read_steps(
-            exec_state, ctx_state, tid, cmd.var, cmd.acquire
+            exec_state, ctx_state, tid, cmd.var, cmd.acquire,
+            collapse_same_value=_collapse_ok(cmd.var, rest),
         ):
             g2, b2 = (ctx2, exec2) if in_lib else (exec2, ctx2)
             yield action, comp, None, ls.set(cmd.reg, action.val), g2, b2
@@ -111,7 +327,8 @@ def _steps(
             yield action, comp, None, ls.set(cmd.reg, True), g2, b2
         # Failure: a relaxed read of any observable value ≠ u.
         for action, _w, exec2, ctx2 in read_steps(
-            exec_state, ctx_state, tid, cmd.var, acquire=False, forbid=expect
+            exec_state, ctx_state, tid, cmd.var, acquire=False, forbid=expect,
+            collapse_same_value=_collapse_ok(cmd.var, rest),
         ):
             g2, b2 = (ctx2, exec2) if in_lib else (exec2, ctx2)
             yield action, comp, None, ls.set(cmd.reg, False), g2, b2
@@ -136,26 +353,17 @@ def _steps(
             yield step.action, "L", None, ls2, step.cli, step.lib
 
     elif isinstance(cmd, A.Seq):
+        rest2 = None if rest is None else _combine(
+            _node_summary(cmd.second), rest
+        )
         for action, comp2, first2, ls2, g2, b2 in _steps(
-            program, cmd.first, tid, ls, gamma, beta, in_lib
+            program, cmd.first, tid, ls, gamma, beta, in_lib, rest=rest2
         ):
             yield action, comp2, A.seq_cons(first2, cmd.second), ls2, g2, b2
 
-    elif isinstance(cmd, A.If):
-        branch = (
-            cmd.then_branch if eval_expr(cmd.cond, ls) else cmd.else_branch
-        )
-        yield None, comp, branch, ls, gamma, beta
-
-    elif isinstance(cmd, A.While):
-        if eval_expr(cmd.cond, ls):
-            yield None, comp, A.Seq(cmd.body, cmd), ls, gamma, beta
-        else:
-            yield None, comp, None, ls, gamma, beta
-
     elif isinstance(cmd, A.LibBlock):
         for action, _comp2, body2, ls2, g2, b2 in _steps(
-            program, cmd.body, tid, ls, gamma, beta, in_lib=True
+            program, cmd.body, tid, ls, gamma, beta, in_lib=True, rest=rest
         ):
             wrapped = (
                 A.LibBlock(body2, cmd.public_regs) if body2 is not None else None
@@ -164,7 +372,7 @@ def _steps(
 
     elif isinstance(cmd, A.Labeled):
         for action, comp2, body2, ls2, g2, b2 in _steps(
-            program, cmd.body, tid, ls, gamma, beta, in_lib
+            program, cmd.body, tid, ls, gamma, beta, in_lib, rest=rest
         ):
             wrapped = A.Labeled(cmd.label, body2) if body2 is not None else None
             yield action, comp2, wrapped, ls2, g2, b2

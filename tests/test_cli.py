@@ -36,3 +36,56 @@ class TestMain:
         out = capsys.readouterr().out
         assert "litmus" in out or "MP-relaxed" in out
         assert "refinement report" in out
+
+
+class TestReductionFlag:
+    def test_litmus_reduction_off(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert main(["repro", "litmus", "--reduction", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CHECKS PASS" in out
+        # Unreduced exploration of MP-ring-3-RA stores the full space.
+        assert "MP-ring-3-RA             368" in out
+
+    def test_litmus_reduction_closure_default(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert main(["repro", "litmus"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CHECKS PASS" in out
+        assert "MP-ring-3-RA              65" in out
+        # The committed benchmark baseline supplies the unreduced
+        # per-test counts without re-running them.
+        assert "368" in out
+
+    def test_unknown_reduction_rejected(self, capsys):
+        assert main(["repro", "litmus", "--reduction", "bogus"]) == 2
+        assert "unknown reduction" in capsys.readouterr().out
+
+    def test_figures_rejects_reduction(self, capsys):
+        assert main(["repro", "figures", "--reduction", "off"]) == 2
+        assert "not supported" in capsys.readouterr().out
+
+    def test_batch_reduction_json(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        report = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "repro", "batch", "--jobs", "litmus",
+                    "--json", str(report),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(report.read_text())
+        assert data["ok"]
+        rows = data["jobs"][0]["detail"]
+        assert all(r["reduction"] == "closure" for r in rows)
+        by_name = {r["name"]: r for r in rows}
+        ring = by_name["MP-ring-3-RA"]
+        # states: explored (reduced); full_states: from the committed
+        # baseline, not a re-run.
+        assert ring["states"] == 65
+        assert ring["full_states"] == 368
