@@ -19,10 +19,11 @@ order.  Running this example:
 Run:  python examples/bug_hunting.py
 """
 
+from repro.engine import ExplorationEngine
 from repro.impls.spinlock import SPINLOCK_VARS, spinlock_fill
 from repro.litmus.peterson import mutual_exclusion_violated, peterson_program
 from repro.semantics.explore import explore
-from repro.semantics.witness import find_path
+from repro.semantics.witness import replay_witness
 from repro.toolkit import verify_lock_implementation
 from repro.util.pretty import format_locals
 
@@ -40,7 +41,15 @@ def main() -> None:
     print(f"  mutual-exclusion failures : {len(violations)}")
     print()
 
-    witness = find_path(program, lambda c: mutual_exclusion_violated(c, program))
+    # Witness extraction rides the engine: the ε-closure-reduced search
+    # visits far fewer states, and the fused macro-steps are re-expanded
+    # into the concrete schedule below — replay_witness re-checks every
+    # step against the raw unreduced successors relation.
+    engine = ExplorationEngine(reduction="closure")
+    witness = engine.find_witness(
+        program, lambda c: mutual_exclusion_violated(c, program)
+    )
+    replay_witness(program, witness)
     print(witness.describe())
     print()
     print("Reading the witness: thread 2's acquiring read of flag1 returns")

@@ -66,8 +66,15 @@ from repro.refinement.simulation import find_forward_simulation
 from repro.refinement.tracecheck import check_program_refinement
 from repro.semantics.config import Config, initial_config
 from repro.semantics.explore import explore, final_outcomes, reachable
-from repro.semantics.random_exec import random_run, sample_outcomes
-from repro.semantics.witness import find_path, find_terminal_witness
+from repro.semantics.random_exec import random_run, replay_run, sample_outcomes
+from repro.semantics.witness import (
+    Witness,
+    WitnessStep,
+    find_path,
+    find_terminal_witness,
+    reconstruct_witness,
+    replay_witness,
+)
 from repro.toolkit import verify_lock_implementation
 from repro.util.pretty import format_config
 
@@ -92,6 +99,8 @@ __all__ = [
     "ResultCache",
     "Thread",
     "ThreadOutline",
+    "Witness",
+    "WitnessStep",
     "__version__",
     "ast",
     "check_proof_outline",
@@ -107,7 +116,10 @@ __all__ = [
     "program_fingerprint",
     "random_run",
     "reachable",
+    "reconstruct_witness",
     "reg",
+    "replay_run",
+    "replay_witness",
     "run_batch",
     "sample_outcomes",
     "verify_lock_implementation",

@@ -8,6 +8,11 @@ Commands:
   lock across the client battery;
 * ``batch``    — run named verification jobs concurrently and emit a
   JSON report (see ``--jobs``/``--json``);
+* ``witness``  — extract the shortest execution exhibiting a litmus
+  test's weak outcome (``witness MP-relaxed``): the engine explores
+  with predecessor tracking and reconstructs the concrete schedule,
+  re-expanding ε-closure macro-steps when ``--reduction closure``
+  (the default) did the searching;
 * ``all``      — litmus + figures + refine (default).
 
 Options:
@@ -94,6 +99,10 @@ def run_litmus(options: Optional[dict] = None) -> bool:
             f"{test.name:20s} {result['states']:7d}{full} {weak:>10s} "
             f"{src:>6s} {'OK' if result['verdict_ok'] else 'MISMATCH'}"
         )
+        if not result["verdict_ok"] and result.get("witness"):
+            print("  violating schedule:")
+            for line in result["witness"]:
+                print(f"    {line}")
     if baseline is not None and full_total:
         print(
             f"reduction: {explored_total} states stored vs {full_total} "
@@ -185,6 +194,63 @@ def run_refine(options: Optional[dict] = None) -> bool:
     return ok
 
 
+def run_witness(options: Optional[dict] = None) -> bool:
+    """Extract and print the shortest execution exhibiting a litmus
+    test's weak outcome; True iff reachability matches the RC11 RAR
+    verdict (weak allowed ⇒ witness exists, forbidden ⇒ none).
+
+    The search rides the configured engine — workers, strategy and
+    reduction all apply — with predecessor tracking instead of stored
+    configurations; under ``--reduction closure`` (the default) the
+    reduced search's macro-steps are re-expanded so the printed
+    schedule replays step-for-step through the unreduced semantics.
+    """
+    from repro.litmus.catalog import LITMUS_TESTS
+    from repro.util.errors import VerificationError
+
+    options = options or {}
+    tests = {t.name: t for t in LITMUS_TESTS}
+    name = options.get("test")
+    if not name:
+        raise ValueError(
+            "usage: python -m repro witness <litmus-test> "
+            f"[--workers N --strategy S --reduction R]; "
+            f"available tests: {', '.join(sorted(tests))}"
+        )
+    if name not in tests:
+        raise ValueError(
+            f"unknown litmus test {name!r}; "
+            f"available: {', '.join(sorted(tests))}"
+        )
+    test = tests[name]
+    engine = _make_engine(options)
+
+    def weak_outcome(cfg) -> bool:
+        return test.outcome_of(cfg) in test.weak
+
+    try:
+        witness = engine.find_witness(
+            test.build(), weak_outcome, terminal_only=True
+        )
+    except VerificationError as exc:
+        print(f"{test.name}: {exc}")
+        return False
+    verdict = "allowed" if test.weak_allowed else "forbidden"
+    regs = ", ".join(f"{t}.{r}" for t, r in test.regs)
+    weak = " | ".join(repr(w) for w in sorted(test.weak, key=repr))
+    print(f"{test.name}: weak outcome ({regs}) ∈ {{{weak}}} — "
+          f"{verdict} under RC11 RAR")
+    if witness is not None:
+        print(witness.describe())
+        print(f"schedule: {' '.join(witness.schedule())}")
+        print(f"engine: {engine!r}")
+    else:
+        print("unreachable (exhaustive search, no witness exists)")
+    ok = (witness is not None) == test.weak_allowed
+    print(f"verdict {'OK' if ok else 'MISMATCH'}")
+    return ok
+
+
 def run_batch_cmd(options: Optional[dict] = None) -> bool:
     """Run the batch job suite; True iff every job passes."""
     from repro.engine.batch import run_batch
@@ -210,6 +276,7 @@ _COMMAND_FLAGS = {
     "figures": set(),
     "refine": {"workers", "strategy"},
     "batch": {"workers", "jobs", "json", "no_cache", "reduction"},
+    "witness": {"workers", "strategy", "reduction"},
     "all": {"workers", "strategy", "no_cache", "reduction"},
 }
 
@@ -279,15 +346,21 @@ def main(argv) -> int:
         "figures": [run_figures],
         "refine": [run_refine],
         "batch": [run_batch_cmd],
+        "witness": [run_witness],
         "all": [run_litmus, run_figures, run_refine],
     }
     if command not in dispatch:
         print(__doc__)
         return 2
-    options = _parse_options(argv[2:], command)
+    args = list(argv[2:])
+    positional = {}
+    if command == "witness" and args and not args[0].startswith("--"):
+        positional["test"] = args.pop(0)
+    options = _parse_options(args, command)
     if options is None:
         print(__doc__)
         return 2
+    options.update(positional)
     ok = True
     for i, job in enumerate(dispatch[command]):
         if i:

@@ -61,6 +61,10 @@ def _job_litmus(use_cache: bool, reduction: str = "closure") -> Dict:
             "cached": verdict["cached"],
             "reduction": reduction,
         }
+        if not verdict["verdict_ok"]:
+            # A forbidden-outcome violation embeds the witness schedule
+            # in the JSON report (None for absence-only violations).
+            row["witness"] = verdict.get("witness")
         if baseline is not None:
             row["full_states"] = baseline.get(test.name)
         rows.append(row)

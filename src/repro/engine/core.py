@@ -92,6 +92,7 @@ def explore_sequential(
     on_config: Optional[Callable[["Config"], Optional[bool]]] = None,
     strategy="bfs",
     reduction: str = "off",
+    track_parents: bool = False,
 ) -> ExploreResult:
     """Enumerate the reachable configurations of ``program`` in-process.
 
@@ -105,6 +106,13 @@ def explore_sequential(
     configurations are fused away — they are not stored, counted, or
     passed to ``on_config``/``check_invariants`` — and edges are
     macro-edges labelled with their visible action.
+
+    ``track_parents`` records each state's first-discovery edge
+    (parent key + ``(tid, component, action)`` label, no extra
+    configurations) in ``result.parents`` so a witness can be
+    reconstructed from the explored graph afterwards; under the default
+    BFS frontier the recorded path is shortest (DFS/swarm record *a*
+    discovery path, not a shortest one).
     """
     from repro.semantics.config import initial_config
 
@@ -119,6 +127,9 @@ def explore_sequential(
 
     init_key = keyf(init)
     configs: Dict[Tuple, Config] = {init_key: init}
+    parents: Optional[Dict[Tuple, Optional[Tuple]]] = (
+        {init_key: None} if track_parents else None
+    )
     edges: Optional[Dict[Tuple, List]] = {} if collect_edges else None
     terminals: List[Config] = []
     stuck: List[Config] = []
@@ -155,6 +166,8 @@ def explore_sequential(
                     truncated = True
                     continue
                 configs[tkey] = tr.target
+                if track_parents:
+                    parents[tkey] = (key, tr.tid, tr.component, tr.action)
                 frontier.push(tkey, tr.target)
         if truncated:
             # Bail out promptly: the cap bounds work done, not just
@@ -173,6 +186,7 @@ def explore_sequential(
         elapsed=time.perf_counter() - start,
         edges=edges,
         stopped=stopped,
+        parents=parents,
     )
 
 
@@ -266,6 +280,7 @@ class ExplorationEngine:
         on_config: Optional[Callable[[Config], Optional[bool]]] = None,
         reduction: Optional[str] = None,
         keep_configs: bool = True,
+        track_parents: bool = False,
     ) -> ExploreResult:
         """Run one exploration, honouring this engine's configuration.
 
@@ -275,6 +290,8 @@ class ExplorationEngine:
         ``keep_configs=False`` lets the sharded backend drop per-state
         payloads once expanded (summary-only consumers); the sequential
         backend keys its visited set by configuration and ignores it.
+        ``track_parents`` records each state's first-discovery edge in
+        ``result.parents`` (see :meth:`find_witness`).
         """
         self.explorations += 1
         cap = self.max_states if max_states is None else max_states
@@ -294,6 +311,7 @@ class ExplorationEngine:
                 on_config=on_config,
                 reduction=mode,
                 keep_configs=keep_configs,
+                track_parents=track_parents,
             )
         return explore_sequential(
             program,
@@ -304,7 +322,96 @@ class ExplorationEngine:
             on_config=on_config,
             strategy=self.strategy,
             reduction=mode,
+            track_parents=track_parents,
         )
+
+    # -- counterexample witnesses -------------------------------------------
+    def _witness_key_of(self, program: Program) -> Callable[["Config"], object]:
+        """The state-identity function this engine's backend uses —
+        canonical keys in-process, stable digests of them sharded."""
+        from repro.semantics.canon import canonical_key
+
+        if self.workers > 1:
+            from repro.engine.fingerprint import stable_digest
+
+            return lambda cfg: stable_digest(canonical_key(program, cfg))
+        return lambda cfg: canonical_key(program, cfg)
+
+    def find_witness(
+        self,
+        program: Program,
+        predicate: Callable[["Config"], bool],
+        max_states: Optional[int] = None,
+        reduction: Optional[str] = None,
+        terminal_only: bool = False,
+    ):
+        """A concrete execution to a configuration satisfying
+        ``predicate``, found by *this* engine's backend, or ``None``
+        when an exhaustive search proves none exists.
+
+        One engine exploration runs with predecessor tracking — per
+        state a parent key plus the ``(tid, component, action)`` edge
+        label, no stored configurations — and stops at the first hit;
+        the witness is then reconstructed from the recorded graph
+        (:func:`repro.semantics.witness.reconstruct_witness`) instead
+        of re-exploring.  Under the default BFS strategy (sequential
+        or sharded — the level-synchronous parallel backend is BFS by
+        construction) the witness is shortest; DFS/swarm engines return
+        a valid but not necessarily minimal execution.
+
+        ``reduction="closure"`` searches the ε-closed macro-step system
+        — typically several times fewer states — and the predicate is
+        then evaluated on closed configurations only (sound for
+        terminal-state and visible-boundary properties, see
+        :func:`repro.semantics.explore.reachable`).  The returned
+        witness is nevertheless *step-exact*: every macro-edge is
+        re-expanded into its concrete schedule, and every step replays
+        through the raw unreduced ``successors`` relation.
+
+        ``terminal_only`` restricts hits to terminal configurations
+        (the usual shape for weak-behaviour witnesses).  Raises
+        :class:`VerificationError` when the search was truncated by
+        ``max_states`` without a hit — inconclusive, not unreachable.
+        """
+        from repro.semantics.witness import reconstruct_witness
+
+        mode = (
+            self.reduction if reduction is None else _check_reduction(reduction)
+        )
+        hits: list = []
+
+        def probe(cfg: "Config") -> bool:
+            if (not terminal_only or cfg.is_terminal()) and predicate(cfg):
+                hits.append(cfg)
+                return True
+            return False
+
+        result = self.explore(
+            program,
+            max_states=max_states,
+            on_config=probe,
+            reduction=mode,
+            keep_configs=False,
+            track_parents=True,
+        )
+        if hits:
+            key_of = self._witness_key_of(program)
+            return reconstruct_witness(
+                program,
+                result.parents,
+                key_of(hits[0]),
+                key_of,
+                reduction=mode,
+            )
+        if result.truncated:
+            from repro.util.errors import VerificationError
+
+            raise VerificationError(
+                f"no witness within the first {result.state_count} states "
+                "and the search was truncated, inconclusive — raise "
+                "max_states"
+            )
+        return None
 
     # -- cache-aware verification -------------------------------------------
     def run(

@@ -68,6 +68,7 @@ def _init_worker(
     check_invariants: bool,
     collect_edges: bool,
     reduction: str = "off",
+    track_parents: bool = False,
 ) -> None:
     from repro.engine.core import key_function, successor_function
 
@@ -76,6 +77,7 @@ def _init_worker(
     _WORKER["succf"] = successor_function(reduction)
     _WORKER["check_invariants"] = check_invariants
     _WORKER["collect_edges"] = collect_edges
+    _WORKER["track_parents"] = track_parents
 
 
 def _expand_shard(shard: List[bytes]) -> List[Tuple]:
@@ -91,12 +93,17 @@ def _expand_shard(shard: List[bytes]) -> List[Tuple]:
     transition graph.  Successor generation honours the worker's
     reduction policy: under ``"closure"`` the expanded edges are the
     reduction layer's macro-steps, exactly as in the sequential backend.
+    Under parent tracking each target additionally carries the
+    ``(tid, component, action)`` label of the transition that first
+    produced it, so the master can record predecessor edges without
+    unpickling anything.
     """
     program: "Program" = _WORKER["program"]
     keyf = _WORKER["keyf"]
     successors = _WORKER["succf"]
     check_invariants: bool = _WORKER["check_invariants"]
     collect_edges: bool = _WORKER["collect_edges"]
+    track_parents: bool = _WORKER["track_parents"]
     out = []
     for blob in shard:
         cfg: "Config" = pickle.loads(blob)
@@ -104,7 +111,7 @@ def _expand_shard(shard: List[bytes]) -> List[Tuple]:
             cfg.gamma.check_invariants(program.tids)
             cfg.beta.check_invariants(program.tids)
         succs = successors(program, cfg)
-        targets: List[Tuple[bytes, bytes]] = []
+        targets: List[Tuple] = []
         labels = [] if collect_edges else None
         key_digests: Dict[Tuple, bytes] = {}  # dedup before digesting
         for tr in succs:
@@ -113,9 +120,13 @@ def _expand_shard(shard: List[bytes]) -> List[Tuple]:
             if digest is None:
                 digest = stable_digest(key)
                 key_digests[key] = digest
-                targets.append(
-                    (digest, pickle.dumps(tr.target, pickle.HIGHEST_PROTOCOL))
-                )
+                tblob = pickle.dumps(tr.target, pickle.HIGHEST_PROTOCOL)
+                if track_parents:
+                    targets.append(
+                        (digest, tblob, (tr.tid, tr.component, tr.action))
+                    )
+                else:
+                    targets.append((digest, tblob))
             if collect_edges:
                 labels.append((tr.tid, tr.component, tr.action, digest))
         out.append((cfg.is_terminal(), len(succs), labels, targets))
@@ -145,6 +156,7 @@ def explore_parallel(
     on_config: Optional[Callable[["Config"], Optional[bool]]] = None,
     reduction: str = "off",
     keep_configs: bool = True,
+    track_parents: bool = False,
 ) -> ExploreResult:
     """Explore ``program`` with ``workers`` processes, sharding the
     frontier by canonical-key digest each round.
@@ -161,6 +173,14 @@ def explore_parallel(
     result's ``configs`` map then holds just those, with
     ``state_total`` carrying the true visited count; callers that need
     the full map or the transition graph keep the default.
+
+    ``track_parents`` records each state's first-discovery edge as
+    ``parents[digest] = (parent digest, tid, component, action)`` —
+    16-byte digests plus an edge label, never configurations.  The
+    level-synchronous rounds are BFS by construction, so the recorded
+    path is shortest in (macro-)steps; combined with
+    ``keep_configs=False`` this is the memory-lean witness-search mode
+    (:meth:`repro.engine.core.ExplorationEngine.find_witness`).
     """
     from repro.engine.core import explore_sequential, key_function
 
@@ -173,6 +193,7 @@ def explore_parallel(
             check_invariants=check_invariants,
             on_config=on_config,
             reduction=reduction,
+            track_parents=track_parents,
         )
 
     from repro.semantics.config import initial_config
@@ -193,6 +214,9 @@ def explore_parallel(
     init_blob = pickle.dumps(init, pickle.HIGHEST_PROTOCOL)
 
     visited = {init_key}
+    parents: Optional[Dict[bytes, Optional[Tuple]]] = (
+        {init_key: None} if track_parents else None
+    )
     blobs: Optional[Dict[bytes, bytes]] = (
         {init_key: init_blob} if keep_configs else None
     )
@@ -217,7 +241,8 @@ def explore_parallel(
         processes=workers,
         initializer=_init_worker,
         initargs=(
-            program, canonicalise, check_invariants, collect_edges, reduction,
+            program, canonicalise, check_invariants, collect_edges,
+            reduction, track_parents,
         ),
     )
     try:
@@ -245,13 +270,19 @@ def explore_parallel(
                         if not keep_configs:
                             sink_blobs[digest] = blob
                         continue
-                    for tdigest, tblob in targets:
+                    for entry in targets:
+                        if track_parents:
+                            tdigest, tblob, label = entry
+                        else:
+                            tdigest, tblob = entry
                         if tdigest in visited:
                             continue
                         if len(visited) >= max_states:
                             truncated = True
                             continue
                         visited.add(tdigest)
+                        if track_parents:
+                            parents[tdigest] = (digest,) + label
                         if keep_configs:
                             blobs[tdigest] = tblob
                         frontier.append((tdigest, tblob))
@@ -293,4 +324,5 @@ def explore_parallel(
         edges=edges,
         stopped=stopped,
         state_total=state_total,
+        parents=parents,
     )

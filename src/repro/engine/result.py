@@ -45,6 +45,15 @@ class ExploreResult:
     #: (``keep_configs=False``), where ``configs`` holds only the
     #: terminal/stuck configurations a verdict needs.
     state_total: Optional[int] = None
+    #: Predecessor graph recorded when the exploration was asked to
+    #: ``track_parents``: state key -> ``(parent_key, tid, component,
+    #: action)`` — the edge that first discovered the state — with the
+    #: initial key mapped to None.  Under BFS the first-discovery edge
+    #: is a shortest edge, so
+    #: :func:`repro.semantics.witness.reconstruct_witness` rebuilds
+    #: shortest counterexamples from this graph without re-exploring
+    #: (and without a stored configuration per state).
+    parents: Optional[Dict[Tuple, Optional[Tuple]]] = None
 
     @property
     def state_count(self) -> int:

@@ -63,7 +63,7 @@ def seqlock_fill(obj: str, method: str, dest: Optional[str] = None) -> A.Node:
     if method == "acquire":
         block: A.Node = A.LibBlock(acquire_body())
         if dest is not None:
-            # The return-value copy is a client (ǫ) step at the method
+            # The return-value copy is a client (ε) step at the method
             # boundary, so ``dest`` stays a client register.
             block = A.seq(block, A.LocalAssign(dest, Reg(LOC)))
         return block

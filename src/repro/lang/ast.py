@@ -38,7 +38,7 @@ class Node:
 
 @dataclass(frozen=True)
 class LocalAssign(Node):
-    """``r := E`` — a silent (ǫ) step updating a local register."""
+    """``r := E`` — a silent (ε) step updating a local register."""
 
     reg: str
     expr: Expr
@@ -174,14 +174,14 @@ def do_until(body: Node, cond: Expr) -> Node:
 
 
 def skip() -> Node:
-    """A no-op command (an ǫ local step); useful in tests."""
+    """A no-op command (an ε local step); useful in tests."""
     return LocalAssign("__skip__", Lit(0))
 
 
 def seq_cons(first: Com, second: Node) -> Node:
     """Rebuild a sequence after the first component stepped.
 
-    Implements the rule ``(v; C2, ls) −ǫ→ (C2, ls)``: when the first
+    Implements the rule ``(v; C2, ls) −ε→ (C2, ls)``: when the first
     component has terminated (``None``), the continuation is ``second``.
     """
     if first is None:

@@ -27,7 +27,7 @@ Alongside the classic straight-line shapes, the catalog carries the
 on hardware harnesses or compiled from real code: flag waits are
 ``while (r == 0) r := f`` polling loops, values flow through local
 registers, and producers may be duplicated (idempotent publication).
-Semantically these add silent (ǫ) program steps and same-value writes,
+Semantically these add silent (ε) program steps and same-value writes,
 which is precisely the structure the reduction layer
 (:mod:`repro.semantics.reduce`) collapses; the reduction benchmark
 measures its state savings over this catalog.
@@ -70,6 +70,12 @@ class LitmusTest:
     weak: FrozenSet[Tuple]  # the outcomes distinguishing weak memory
     weak_allowed: bool  # does RC11 RAR allow the weak outcome(s)?
     description: str = ""
+
+    def outcome_of(self, cfg) -> Tuple:
+        """The observed-register valuation of one configuration — the
+        single place the ``regs`` encoding is turned into an outcome
+        tuple (witness predicates and verdicts must agree on it)."""
+        return tuple(cfg.local(t, r) for t, r in self.regs)
 
 
 def reduction_baseline() -> Optional[Dict[str, int]]:
@@ -129,7 +135,7 @@ def run_litmus(
         )
     outcomes = summary.terminal_locals(*test.regs)
     weak_observed = bool(outcomes & test.weak)
-    return {
+    verdict = {
         "name": test.name,
         "outcomes": outcomes,
         "expected": test.allowed,
@@ -142,6 +148,45 @@ def run_litmus(
         "cached": summary.cached,
         "reduction": engine.reduction,
     }
+    if not verdict["verdict_ok"]:
+        verdict["witness"] = _violation_witness(
+            test, engine, max_states, outcomes
+        )
+    return verdict
+
+
+def _violation_witness(
+    test: LitmusTest, engine: ExplorationEngine, max_states: int, outcomes
+):
+    """The schedule of an execution exhibiting a forbidden outcome.
+
+    Only *presence* violations have an execution to show — an outcome
+    observed though outside the expected set, or a weak outcome
+    observed though the model forbids it; an expected-but-absent
+    outcome has no witness, and a truncated-inconclusive extraction
+    search degrades to None (the verdict already failed; only genuine
+    reconstruction bugs propagate).  The schedule is JSON-safe: one
+    rendered step per line, ready for the batch report.
+    """
+    from repro.util.errors import VerificationError
+
+    bad = set(outcomes) - set(test.allowed)
+    if not test.weak_allowed:
+        bad |= set(outcomes) & set(test.weak)
+    if not bad:
+        return None
+    try:
+        witness = engine.find_witness(
+            test.build(),
+            lambda cfg: test.outcome_of(cfg) in bad,
+            max_states=max_states,
+            terminal_only=True,
+        )
+    except VerificationError:
+        return None
+    if witness is None:
+        return None
+    return [step.describe() for step in witness.steps]
 
 
 # ---------------------------------------------------------------------------

@@ -25,12 +25,14 @@ solver (the Theorem 8.1 soundness bench).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.lang.program import Program
 from repro.refinement.traces import ClientState, client_projection, trace_refines
 from repro.semantics.explore import explore
+from repro.semantics.witness import Witness, WitnessStep
 
 
 @dataclass
@@ -42,6 +44,12 @@ class RefinementResult:
     abstract_traces: int
     unmatched: List[Tuple[ClientState, ...]] = field(default_factory=list)
     cyclic_client_change: bool = False
+    #: On failure: a concrete execution of the *concrete* program whose
+    #: client projection realises the (shortest) unmatched trace —
+    #: extracted from the already-explored transition graph, no second
+    #: exploration.  None when the check passed (or no realisation was
+    #: found, which the enumeration's construction should preclude).
+    witness: Optional[Witness] = None
 
     def __bool__(self) -> bool:
         return self.refines
@@ -109,6 +117,22 @@ def client_traces(
     Returns ``(traces, cyclic_client_change)``.  ``engine`` optionally
     routes exploration through a configured
     :class:`repro.engine.ExplorationEngine`.
+    """
+    traces, cyclic, _result, _projections = _client_trace_data(
+        program, max_states=max_states, engine=engine
+    )
+    return traces, cyclic
+
+
+def _client_trace_data(
+    program: Program, max_states: int = 200_000, engine=None
+):
+    """Trace enumeration keeping its exploration by-products.
+
+    Returns ``(traces, cyclic_client_change, result, projections)`` —
+    the explored graph and per-state client projections are what
+    :func:`_realise_trace` consumes to turn an unmatched trace back
+    into a concrete interleaving without re-exploring.
     """
     # Trace enumeration consumes the un-fused transition graph: the
     # client projection changes across silent steps (local assignments
@@ -179,7 +203,64 @@ def client_traces(
         suffixes[scc] = frozenset(collected)
 
     initial_scc = scc_of[result.initial_key]
-    return set(suffixes[initial_scc]), cyclic_change
+    return set(suffixes[initial_scc]), cyclic_change, result, projections
+
+
+def _realise_trace(
+    result, projections: Dict, trace: Tuple[ClientState, ...]
+) -> Optional[Witness]:
+    """A concrete execution whose stutter-free client projection is
+    ``trace``, rebuilt from the explored graph.
+
+    BFS over the product of the recorded transition graph and the trace
+    position: an edge stays at position ``i`` when the successor still
+    projects to ``trace[i]`` (stutter) and advances when it projects to
+    ``trace[i+1]``.  The target is full consumption at a sink state
+    (terminal/stuck); traces absorbed in a cycle fall back to the first
+    full-consumption state found.  Every step is a recorded edge of the
+    unreduced graph, so the witness replays through raw ``successors``.
+    """
+    if not trace or projections[result.initial_key] != trace[0]:
+        return None
+    start = (result.initial_key, 0)
+    # (node, i) -> (previous product state, (tid, component, action, key))
+    parent: Dict[Tuple, Optional[Tuple]] = {start: None}
+    queue = deque([start])
+    goal = None
+    fallback = None
+    while queue and goal is None:
+        node, i = queue.popleft()
+        out = result.edges.get(node, ())
+        if i == len(trace) - 1:
+            if not out:
+                goal = (node, i)
+                break
+            if fallback is None:
+                fallback = (node, i)
+        for tid, comp, act, succ in out:
+            proj = projections[succ]
+            if proj == trace[i]:
+                ni = i
+            elif i + 1 < len(trace) and proj == trace[i + 1]:
+                ni = i + 1
+            else:
+                continue
+            state = (succ, ni)
+            if state in parent:
+                continue
+            parent[state] = ((node, i), (tid, comp, act, succ))
+            queue.append(state)
+    target = goal if goal is not None else fallback
+    if target is None:
+        return None
+    steps: List[WitnessStep] = []
+    state = target
+    while parent[state] is not None:
+        prev, (tid, comp, act, key) = parent[state]
+        steps.append(WitnessStep(tid, comp, act, result.configs[key]))
+        state = prev
+    steps.reverse()
+    return Witness(initial=result.initial, steps=steps)
 
 
 def prefix_closure(
@@ -206,8 +287,14 @@ def check_program_refinement(
     the abstract complete traces; matching for all prefixes of concrete
     traces follows (a prefix of a matched trace is matched by the
     corresponding prefix).
+
+    On failure the result carries a ``witness``: a concrete
+    interleaving of the *concrete* program realising the shortest
+    unmatched trace, rebuilt from the transition graph the check
+    already explored — this is what
+    :meth:`repro.toolkit.RefinementReport.describe` prints.
     """
-    conc_traces, conc_cyclic = client_traces(
+    conc_traces, conc_cyclic, conc_result, conc_proj = _client_trace_data(
         concrete, max_states=max_states, engine=engine
     )
     abs_traces, abs_cyclic = client_traces(
@@ -225,10 +312,16 @@ def check_program_refinement(
         if not any(trace_refines(ct, at) for at in candidates):
             unmatched.append(ct)
 
+    witness = None
+    if unmatched:
+        shortest = min(unmatched, key=lambda t: (len(t), repr(t)))
+        witness = _realise_trace(conc_result, conc_proj, shortest)
+
     return RefinementResult(
         refines=not unmatched and not conc_cyclic and not abs_cyclic,
         concrete_traces=len(conc_traces),
         abstract_traces=len(abs_traces),
         unmatched=unmatched,
         cyclic_client_change=conc_cyclic or abs_cyclic,
+        witness=witness,
     )

@@ -40,6 +40,7 @@ def explore(
     check_invariants: bool = False,
     on_config: Optional[Callable[[Config], Optional[bool]]] = None,
     reduction: str = "off",
+    track_parents: bool = False,
 ) -> ExploreResult:
     """Enumerate every reachable configuration of ``program``.
 
@@ -71,6 +72,11 @@ def explore(
         register-level verdicts but fuses intermediate silent
         configurations away: they are not stored, counted, or passed to
         ``on_config``/``check_invariants``.
+    track_parents:
+        Record each state's first-discovery edge (parent key +
+        ``(tid, component, action)`` label) in ``result.parents``, from
+        which :func:`repro.semantics.witness.reconstruct_witness`
+        rebuilds a shortest counterexample without re-exploring.
     """
     return explore_sequential(
         program,
@@ -80,6 +86,7 @@ def explore(
         check_invariants=check_invariants,
         on_config=on_config,
         reduction=reduction,
+        track_parents=track_parents,
     )
 
 
@@ -96,7 +103,12 @@ def reachable(
     unreachability: when the search exhausts ``max_states`` without a
     witness the answer is unknown, and pretending otherwise would let a
     truncated search masquerade as one — that case raises
-    :class:`VerificationError` instead.
+    :class:`VerificationError` instead (``find_path`` and
+    ``ExplorationEngine.find_witness`` honour the same contract).  To
+    additionally get the *execution* reaching the configuration, use
+    :meth:`repro.engine.ExplorationEngine.find_witness`, which runs this
+    same early-stopping search with predecessor tracking and
+    reconstructs the schedule from the explored graph.
 
     ``reduction="closure"`` evaluates the predicate on ε-closed
     configurations only — a subset of the unreduced reachable set.  It
@@ -134,6 +146,7 @@ def assert_invariant(
     invariant: Callable[[Config], bool],
     max_states: int = 500_000,
     reduction: str = "off",
+    witness: bool = False,
 ) -> ExploreResult:
     """Check a safety property on every reachable configuration.
 
@@ -146,6 +159,11 @@ def assert_invariant(
     Under ``reduction="closure"`` the invariant is checked on the
     ε-closed configurations only (see :func:`reachable` for when that
     is equivalent).
+
+    ``witness=True`` makes the exploration track predecessors, so a
+    violation's error additionally carries ``err.witness`` — the
+    shortest concrete execution reaching the counterexample,
+    reconstructed from the already-explored graph (no second search).
     """
     violation: list = []
 
@@ -156,11 +174,30 @@ def assert_invariant(
         return False
 
     result = explore(
-        program, max_states=max_states, on_config=probe, reduction=reduction
+        program,
+        max_states=max_states,
+        on_config=probe,
+        reduction=reduction,
+        track_parents=witness,
     )
     if violation:
+        trace = None
+        if witness:
+            from repro.semantics.canon import canonical_key
+            from repro.semantics.witness import reconstruct_witness
+
+            def key_of(cfg: Config):
+                return canonical_key(program, cfg)
+
+            trace = reconstruct_witness(
+                program,
+                result.parents,
+                key_of(violation[0]),
+                key_of,
+                reduction=reduction,
+            )
         raise VerificationError(
-            "invariant violated", counterexample=violation[0]
+            "invariant violated", counterexample=violation[0], witness=trace
         )
     if result.truncated:
         raise VerificationError(

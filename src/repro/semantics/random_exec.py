@@ -6,28 +6,83 @@ transition is chosen uniformly.  Sampling cannot prove absence of
 behaviours, but it reproduces *allowed* weak behaviours quickly and
 scales to workloads the exhaustive explorer cannot touch — the framework
 analogue of running a litmus test many times on hardware.
+
+Every run records the schedule it took — the ``(tid, component,
+action)`` sequence plus the exact successor indices chosen — so any
+sampled behaviour (a deadlock in particular) is *replayable*:
+:func:`replay_run` re-executes a recorded choice sequence
+deterministically, and :func:`sample_outcomes` attaches the seed, run
+number and schedule to the error it raises on deadlock.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
 
 from repro.lang.program import Program
+from repro.memory.actions import Action
 from repro.semantics.config import Config, initial_config
-from repro.semantics.step import Transition, successors
+from repro.semantics.step import successors
 from repro.util.errors import VerificationError
+
+#: One scheduled step of a recorded run: ``(tid, component, action)``.
+ScheduleStep = Tuple[str, str, Optional[Action]]
 
 
 @dataclass
 class RunResult:
-    """Outcome of one random execution."""
+    """Outcome of one random (or replayed) execution."""
 
     final: Config
     steps: int
     terminated: bool
     deadlocked: bool
+    #: The ``(tid, component, action)`` sequence the run executed —
+    #: human-readable, the same shape as witness steps.
+    schedule: Tuple[ScheduleStep, ...] = ()
+    #: The successor index chosen at each configuration.  Unlike the
+    #: schedule (whose action labels are ambiguous under placement
+    #: nondeterminism), the index sequence replays the run *exactly*:
+    #: ``replay_run(program, result.choices)`` reaches ``final``.
+    choices: Tuple[int, ...] = field(default=(), repr=False)
+
+
+def _run(program: Program, pick, max_steps: int) -> RunResult:
+    """Drive one execution, choosing each step via ``pick(succs, i)``
+    (returning None stops the run — the replay's exhausted record)."""
+    cfg = initial_config(program)
+    schedule = []
+    choices = []
+    steps = 0
+    while steps < max_steps:
+        succs = successors(program, cfg)
+        if not succs:
+            return RunResult(
+                final=cfg,
+                steps=steps,
+                terminated=cfg.is_terminal(),
+                deadlocked=not cfg.is_terminal(),
+                schedule=tuple(schedule),
+                choices=tuple(choices),
+            )
+        choice = pick(succs, steps)
+        if choice is None:
+            break
+        tr = succs[choice]
+        schedule.append((tr.tid, tr.component, tr.action))
+        choices.append(choice)
+        cfg = tr.target
+        steps += 1
+    return RunResult(
+        final=cfg,
+        steps=steps,
+        terminated=False,
+        deadlocked=False,
+        schedule=tuple(schedule),
+        choices=tuple(choices),
+    )
 
 
 def random_run(
@@ -35,20 +90,40 @@ def random_run(
     rng: Optional[random.Random] = None,
     max_steps: int = 100_000,
 ) -> RunResult:
-    """Execute one random schedule to termination (or the step cap)."""
+    """Execute one random schedule to termination (or the step cap).
+
+    The result exposes the ``schedule`` taken and the exact ``choices``
+    sequence, replayable via :func:`replay_run`.
+    """
     rng = rng or random.Random()
-    cfg = initial_config(program)
-    for i in range(max_steps):
-        succs = successors(program, cfg)
-        if not succs:
-            return RunResult(
-                final=cfg,
-                steps=i,
-                terminated=cfg.is_terminal(),
-                deadlocked=not cfg.is_terminal(),
+    return _run(
+        program, lambda succs, _i: rng.randrange(len(succs)), max_steps
+    )
+
+
+def replay_run(program: Program, choices: Sequence[int]) -> RunResult:
+    """Deterministically re-execute a recorded choice sequence.
+
+    ``choices`` is the per-step successor index (``RunResult.choices``
+    or the ``details["choices"]`` of a deadlock error); the replay stops
+    early if the run ends before the sequence is exhausted.  Raises
+    :class:`VerificationError` if an index is out of range — the record
+    does not belong to this program.
+    """
+    choices = list(choices)
+
+    def pick(succs, i: int) -> Optional[int]:
+        if i >= len(choices):
+            return None  # record exhausted: stop here
+        if choices[i] >= len(succs):
+            raise VerificationError(
+                f"replay step {i + 1} chooses successor {choices[i]} but "
+                f"only {len(succs)} are enabled — schedule does not "
+                "belong to this program"
             )
-        cfg = rng.choice(succs).target
-    return RunResult(final=cfg, steps=max_steps, terminated=False, deadlocked=False)
+        return choices[i]
+
+    return _run(program, pick, max_steps=len(choices) + 1)
 
 
 def sample_outcomes(
@@ -62,15 +137,28 @@ def sample_outcomes(
 
     Non-terminating samples (step cap hit) are recorded under the key
     ``'<incomplete>'``; deadlocks raise, as no program in this repository
-    should deadlock under a fair-enough random scheduler.
+    should deadlock under a fair-enough random scheduler.  The deadlock
+    error is replayable: ``err.details`` carries the seed, the run
+    number, the human-readable schedule and the exact ``choices``
+    sequence (feed it to :func:`replay_run` to re-reach the deadlocked
+    configuration).
     """
     rng = random.Random(seed)
     histogram: dict = {}
-    for _ in range(runs):
+    for run_index in range(runs):
         result = random_run(program, rng=rng, max_steps=max_steps)
         if result.deadlocked:
             raise VerificationError(
-                "random run deadlocked", counterexample=result.final
+                f"random run deadlocked (seed={seed}, run {run_index}, "
+                f"{result.steps} steps; replay via "
+                "replay_run(program, err.details['choices']))",
+                counterexample=result.final,
+                details={
+                    "seed": seed,
+                    "run": run_index,
+                    "schedule": result.schedule,
+                    "choices": result.choices,
+                },
             )
         if not result.terminated:
             key: object = "<incomplete>"

@@ -1,7 +1,7 @@
 """Sound state-space reduction: ε-closure and covering-read pruning.
 
 The explorer's state count is dominated by interleavings of *invisible*
-work: silent (ǫ) transitions — ``LocalAssign``/``If``/``While``
+work: silent (ε) transitions — ``LocalAssign``/``If``/``While``
 bookkeeping — advance only the stepping thread's continuation and local
 state, yet ordinary breadth-first enumeration multiplies the frontier by
 every ordering of them against every other thread.  This module removes
@@ -14,7 +14,7 @@ thread's maximal chain of subsequent silent steps (and
 :func:`close_config` normalises the initial configuration the same way),
 so purely-local interleavings never enter the frontier.
 
-**Soundness.**  Let ``t --ǫ--> t'`` be a silent step of thread ``t``.
+**Soundness.**  Let ``t --ε--> t'`` be a silent step of thread ``t``.
 By construction (:func:`repro.semantics.step.silent_step`):
 
 1. *Locality*: the step is a function of ``(cmds[t], locals[t])`` alone
@@ -27,7 +27,7 @@ By construction (:func:`repro.semantics.step.silent_step`):
 3. *Commutation*: any step of another thread ``u`` reads and writes
    ``(cmds[u], locals[u], γ, β)`` — disjoint from the silent step's
    footprint except for ``γ``/``β``, which the silent step neither
-   reads nor writes.  Hence ``ǫ_t ; a_u`` and ``a_u ; ǫ_t`` reach the
+   reads nor writes.  Hence ``ε_t ; a_u`` and ``a_u ; ε_t`` reach the
    same configuration from the same source: silent steps are *left and
    right movers*.
 
@@ -90,7 +90,7 @@ REDUCTIONS = ("off", "closure")
 
 #: Cut-off for one fused silent chain.  Past this many fused steps (or
 #: on an exact ``(continuation, locals)`` revisit) the remaining silent
-#: work is left in place as an ordinary ǫ-edge, so divergent local
+#: work is left in place as an ordinary ε-edge, so divergent local
 #: loops whose locals change every iteration (an unbounded counter) —
 #: and pathologically long terminating chains — degrade to unreduced
 #: exploration, which the ``max_states`` cap bounds, instead of
@@ -133,7 +133,7 @@ def close_thread(cfg: Config, tid: str) -> Config:
         if visited is None:
             visited = {(cmd, ls)}
         elif (cmd, ls) in visited:
-            break  # divergent ǫ-loop: leave the silent edge in place
+            break  # divergent ε-loop: leave the silent edge in place
         else:
             visited.add((cmd, ls))
         _comp, cmd, ls = step

@@ -1,7 +1,7 @@
 """Successor generation: the ``=⇒`` relation of Section 3.2.
 
 For each thread we enumerate every transition its continuation admits:
-silent (ǫ) program steps, memory steps constrained by Figure 5 (with all
+silent (ε) program steps, memory steps constrained by Figure 5 (with all
 read-from and placement nondeterminism), and abstract method transitions
 (Section 4).  Steps arising inside a :class:`~repro.lang.ast.LibBlock` or
 from a :class:`~repro.lang.ast.MethodCall` are *library* steps: they
@@ -14,7 +14,7 @@ one silent step (``LocalAssign``/``If``/``While`` bookkeeping, possibly
 under ``Seq``/``Labeled``/``LibBlock`` wrappers) or every step it admits
 is a visible memory/method step.  ``_steps`` therefore consults
 ``silent_step`` first and only enumerates the visible rules when it
-returns nothing, so the ǫ-fragment cannot drift between ordinary and
+returns nothing, so the ε-fragment cannot drift between ordinary and
 ε-closed successor generation.
 """
 
@@ -47,7 +47,7 @@ class Transition:
         self,
         tid: str,
         component: str,  # 'C' for client steps, 'L' for library steps
-        action: Optional[Action],  # None for silent (ǫ) steps
+        action: Optional[Action],  # None for silent (ε) steps
         target: Config,
     ) -> None:
         self.tid = tid
@@ -147,7 +147,7 @@ def thread_successors(
 def silent_step(
     cmd: A.Node, ls: FMap, in_lib: bool = False
 ) -> Optional[Tuple[str, Optional[A.Node], FMap]]:
-    """The unique silent (ǫ) step of ``cmd``, or None if its head is a
+    """The unique silent (ε) step of ``cmd``, or None if its head is a
     memory/method command.
 
     Returns ``(component, cmd', ls')``.  Silent steps touch only the

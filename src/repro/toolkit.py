@@ -66,6 +66,21 @@ class RefinementReport:
             if v.traces is not None:
                 tr = f", traces {'ok' if v.traces.refines else 'FAIL'}"
             lines.append(f"  {v.client}: {sim}{tr}")
+            if (
+                v.traces is not None
+                and not v.traces.refines
+                and v.traces.witness is not None
+            ):
+                # The interleaving realising the unmatched client trace,
+                # straight from the checker's already-explored graph.
+                lines.append(
+                    f"    counterexample interleaving "
+                    f"({len(v.traces.witness.steps)} steps):"
+                )
+                lines += [
+                    f"      {i + 1:2d}. {s.describe()}"
+                    for i, s in enumerate(v.traces.witness.steps)
+                ]
         return "\n".join(lines)
 
 

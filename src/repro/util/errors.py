@@ -23,8 +23,23 @@ class StuckError(SemanticsError):
 
 
 class VerificationError(ReproError):
-    """A verification judgment failed; carries a counterexample description."""
+    """A verification judgment failed; carries a counterexample description.
 
-    def __init__(self, message: str, counterexample: object = None) -> None:
+    ``counterexample`` is the offending configuration (when one exists),
+    ``witness`` an optional :class:`repro.semantics.witness.Witness` —
+    the concrete execution reaching it — and ``details`` an optional
+    mapping of replay data (e.g. the seed and schedule of a failing
+    random run).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        counterexample: object = None,
+        witness: object = None,
+        details: dict = None,
+    ) -> None:
         super().__init__(message)
         self.counterexample = counterexample
+        self.witness = witness
+        self.details = details

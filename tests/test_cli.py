@@ -89,3 +89,48 @@ class TestReductionFlag:
         # baseline, not a re-run.
         assert ring["states"] == 65
         assert ring["full_states"] == 368
+        # Passing rows embed no witness schedule.
+        assert all("witness" not in r for r in rows)
+
+
+class TestWitnessCommand:
+    def test_allowed_weak_outcome_prints_schedule(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert main(["repro", "witness", "MP-relaxed"]) == 0
+        out = capsys.readouterr().out
+        assert "witness execution" in out
+        assert "schedule:" in out
+        assert "verdict OK" in out
+
+    def test_forbidden_weak_outcome_is_unreachable(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert main(["repro", "witness", "LB"]) == 0
+        out = capsys.readouterr().out
+        assert "unreachable" in out
+        assert "verdict OK" in out
+
+    def test_closure_search_yields_concrete_silent_steps(
+        self, capsys, monkeypatch
+    ):
+        # The polling loop's silent bookkeeping must reappear in the
+        # schedule even though the (default) closure search fused it.
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert (
+            main(
+                [
+                    "repro", "witness", "MP-await-relaxed",
+                    "--reduction", "closure",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ε" in out and "verdict OK" in out
+
+    def test_unknown_test_is_usage_error(self, capsys):
+        assert main(["repro", "witness", "bogus"]) == 2
+        assert "unknown litmus test" in capsys.readouterr().out
+
+    def test_missing_test_is_usage_error(self, capsys):
+        assert main(["repro", "witness"]) == 2
+        assert "usage" in capsys.readouterr().out

@@ -36,3 +36,46 @@ class TestCatalogueShape:
                 assert not (t.weak & t.allowed), t.name
             else:
                 assert t.weak <= t.allowed, t.name
+
+
+class TestViolationWitness:
+    """Failing verdicts embed the violating schedule in the report."""
+
+    def _misjudged(self, name="MP-relaxed"):
+        # The same program with a deliberately wrong catalog entry: the
+        # weak outcome is real, so judging it forbidden is a "presence"
+        # violation — the kind a witness can exhibit.
+        from dataclasses import replace
+
+        base = next(t for t in LITMUS_TESTS if t.name == name)
+        return replace(
+            base,
+            weak_allowed=False,
+            allowed=frozenset(base.allowed - base.weak),
+        )
+
+    def test_passing_verdict_has_no_witness_key(self):
+        result = run_litmus(LITMUS_TESTS[0])
+        assert result["verdict_ok"]
+        assert "witness" not in result
+
+    def test_failing_verdict_embeds_schedule(self):
+        result = run_litmus(self._misjudged())
+        assert not result["verdict_ok"]
+        schedule = result["witness"]
+        assert schedule and all(isinstance(s, str) for s in schedule)
+        # The schedule is the rendered witness: a JSON-safe line per
+        # step, containing the stale read the weak outcome needs.
+        assert any("rd(d,0)" in line for line in schedule)
+
+    def test_failing_verdict_witness_through_closure_engine(self):
+        from repro.engine import ExplorationEngine
+
+        result = run_litmus(
+            self._misjudged("MP-await-relaxed"),
+            engine=ExplorationEngine(reduction="closure"),
+        )
+        assert not result["verdict_ok"]
+        # Macro-steps re-expanded: the polling loop's silent steps are
+        # present in the concrete schedule.
+        assert any("ε" in line for line in result["witness"])

@@ -220,7 +220,7 @@ def atomic_commands(draw, regs=("r1", "r2")):
 
 @st.composite
 def silent_heavy_commands(draw, regs=("r1", "r2")):
-    """Commands exercising the ǫ-fragment: local computation, data
+    """Commands exercising the ε-fragment: local computation, data
     branches and polling loops around the atomic commands."""
     kind = draw(st.sampled_from(["atomic", "assign", "if", "await"]))
     if kind == "atomic":
@@ -241,7 +241,7 @@ def silent_heavy_commands(draw, regs=("r1", "r2")):
         )
     var = draw(st.sampled_from(VARS))
     # A polling await: the body is a visible read, so the loop is not a
-    # divergent ǫ-cycle, and the flag value 9 is never written — the
+    # divergent ε-cycle, and the flag value 9 is never written — the
     # loop exits as soon as any other value is read, which is always
     # enabled (obs is never empty).
     return A.seq(

@@ -59,7 +59,7 @@ class TestPolicy:
 
 
 class TestSilentStep:
-    """silent_step is the single source of ǫ-truth shared with _steps."""
+    """silent_step is the single source of ε-truth shared with _steps."""
 
     def test_local_assign(self):
         program = Program(
@@ -191,7 +191,7 @@ class TestClosure:
         silent_edges = [
             tr for tr in reduced_successors(program, init) if tr.action is None
         ]
-        assert silent_edges, "cut-off must fall back to the plain ǫ-edge"
+        assert silent_edges, "cut-off must fall back to the plain ε-edge"
         result = explore_sequential(program, reduction="closure")
         assert not result.truncated
         assert result.terminals == []  # thread 1 never terminates

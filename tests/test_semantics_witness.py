@@ -9,7 +9,8 @@ from repro.semantics.config import initial_config
 from repro.semantics.explore import explore
 from repro.semantics.step import successors
 from repro.semantics.witness import find_path, find_terminal_witness
-from tests.conftest import mp_ra, mp_relaxed
+from repro.util.errors import VerificationError
+from tests.conftest import mp_ra, mp_relaxed, single_writer
 
 
 class TestFindPath:
@@ -70,9 +71,65 @@ class TestFindPath:
         assert "witness execution" in text
         assert text.count("\n") == len(w)
 
-    def test_max_states_cap(self):
+    def test_silent_steps_render_as_epsilon(self):
+        """Silent steps print as a proper Greek ε, not the o-with-ogonek
+        mojibake (regression: U+01EB crept into ``describe``)."""
+        prog = Program(
+            threads={"1": Thread(A.seq(A.LocalAssign("r", Lit(1)),
+                                       A.Write("x", Lit(1))))},
+            client_vars={"x": 0},
+        )
+        w = find_terminal_witness(prog, lambda c: True)
+        silent = [s for s in w.steps if s.action is None]
+        assert silent
+        assert all("ε" in s.describe() for s in silent)
+        assert all("ǫ" not in s.describe() for s in w.steps)
+
+
+class TestTruncation:
+    """``max_states`` semantics: truncated means inconclusive, never
+    "unreachable" — and the cap must not hide a witness already in hand.
+    """
+
+    def test_truncated_no_witness_raises(self):
+        # Unsatisfiable predicate + capped search: returning None would
+        # claim unreachability the search did not establish.
+        with pytest.raises(VerificationError, match="truncated"):
+            find_path(mp_relaxed(), lambda c: False, max_states=3)
+
+    def test_exhaustive_no_witness_still_returns_none(self):
+        full = explore(mp_relaxed())
+        assert (
+            find_path(
+                mp_relaxed(),
+                lambda c: False,
+                max_states=full.state_count,
+            )
+            is None
+        )
+
+    def test_witness_at_cap_boundary_is_found(self):
+        # One thread, one write: the only successor of the initial
+        # configuration is terminal.  With max_states=1 the cap is
+        # already reached when that successor is generated — the
+        # predicate must still be tested on it (the historical code
+        # bailed first and returned None).
+        p = single_writer()
+        w = find_path(p, lambda c: c.is_terminal(), max_states=1)
+        assert w is not None and len(w) == 1
+
+    def test_no_none_between_one_and_full(self):
+        # For every budget, find_path either produces the witness or
+        # refuses loudly — never a silent None when one exists.
         p = mp_relaxed()
-        assert find_path(p, lambda c: False, max_states=3) is None
+        pred = lambda c: c.is_terminal() and c.local("2", "r2") == 0  # noqa: E731
+        full = explore(p).state_count
+        for cap in range(1, full + 1):
+            try:
+                w = find_path(p, pred, max_states=cap)
+            except VerificationError:
+                continue
+            assert w is not None and pred(w.final)
 
 
 class TestPeterson:
