@@ -15,11 +15,10 @@ import os
 
 import pytest
 
+from benchmarks.spaces import wide_program
 from repro.engine import ExplorationEngine
 from repro.impls.ticketlock import TICKETLOCK_VARS, ticketlock_fill
-from repro.lang import ast as A
-from repro.lang.expr import Lit
-from repro.lang.program import Program, Thread
+from repro.lang.program import Program
 from repro.litmus.clients import lock_client_three_threads
 from repro.litmus.peterson import peterson_program
 from repro.semantics.explore import explore
@@ -32,20 +31,6 @@ ENFORCE_SPEEDUP = CPUS >= 4
 def _ticketlock_3t() -> Program:
     return lock_client_three_threads(
         ticketlock_fill, lib_vars=dict(TICKETLOCK_VARS)
-    )
-
-
-def _wide_program(n: int, reads: int = 2) -> Program:
-    """n threads, each writing its own variable then reading ``reads``
-    neighbours — a relaxed-access grid whose space grows combinatorially."""
-    threads = {}
-    for i in range(n):
-        stmts = [A.Write(f"x{i}", Lit(1))]
-        for j in range(1, reads + 1):
-            stmts.append(A.Read(f"r{i}_{j}", f"x{(i + j) % n}"))
-        threads[str(i + 1)] = Thread(A.seq(*stmts))
-    return Program(
-        threads=threads, client_vars={f"x{i}": 0 for i in range(n)}
     )
 
 
@@ -94,7 +79,7 @@ def test_parallel_parity_and_speedup(benchmark, record_row, name, build):
 )
 def test_parallel_large_space(benchmark, record_row):
     """The ≥50k-state configuration the speedup claim is stated over."""
-    program = _wide_program(5, reads=3)
+    program = wide_program(5, reads=3)
     seq = explore(program, max_states=2_000_000)
     engine = ExplorationEngine(workers=WORKERS, max_states=2_000_000)
     par = benchmark.pedantic(

@@ -30,9 +30,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.lang import ast as A
-from repro.lang.expr import Lit
-from repro.lang.program import Program, Thread
+from benchmarks.spaces import wide_program
+from repro.lang.program import Program
 from repro.litmus.peterson import peterson_program
 from repro.memory.naive import explore_naive
 from repro.semantics.canon import canonical_key
@@ -44,21 +43,6 @@ BASELINE_PATH = Path(__file__).parent / "BENCH_state_index.json"
 #: Fail the perf-smoke gate when the measured indexed-vs-naive speedup
 #: drops below half the committed baseline speedup (a >2x regression).
 REGRESSION_FACTOR = 2.0
-
-
-def _wide_program(n: int, reads: int = 2) -> Program:
-    """n threads, each writing its own variable then reading ``reads``
-    neighbours — the ≥50k-state relaxed-access grid of the engine
-    benchmark."""
-    threads = {}
-    for i in range(n):
-        stmts = [A.Write(f"x{i}", Lit(1))]
-        for j in range(1, reads + 1):
-            stmts.append(A.Read(f"r{i}_{j}", f"x{(i + j) % n}"))
-        threads[str(i + 1)] = Thread(A.seq(*stmts))
-    return Program(
-        threads=threads, client_vars={f"x{i}": 0 for i in range(n)}
-    )
 
 
 def _bfs_indexed(program: Program):
@@ -143,7 +127,7 @@ def test_state_index_smoke(record_row):
 )
 def test_state_index_large_space(record_row):
     """The ≥2x sequential-speedup claim on a ≥50k-state space."""
-    states, indexed_s, naive_s = _measure(_wide_program(4, reads=3))
+    states, indexed_s, naive_s = _measure(wide_program(4, reads=3))
     speedup = naive_s / indexed_s if indexed_s > 0 else float("inf")
     ok = states >= 50_000 and speedup >= 2.0
     record_row(

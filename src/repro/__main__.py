@@ -19,6 +19,11 @@ Options:
 
 * ``--workers N``   — worker processes: the engine's sharded explorer
   for ``litmus``, job-level concurrency for ``batch`` (default 1);
+* ``--backend B``   — sharded backend for ``--workers N>1``:
+  ``pipeline`` (default: persistent shard-owned workers, streaming
+  frontier) | ``rounds`` (level-synchronous BFS — the
+  deterministic-shortest-path backend ``witness`` always searches
+  with);
 * ``--strategy S``  — frontier strategy ``bfs`` | ``dfs`` |
   ``swarm[:seed]`` (sequential engine only);
 * ``--reduction R`` — state-space reduction ``closure`` (default:
@@ -54,6 +59,7 @@ def _make_engine(options: Optional[dict] = None):
         workers=options.get("workers", 1),
         cache=cache,
         reduction=options.get("reduction", "closure"),
+        backend=options.get("backend", "pipeline"),
     )
 
 
@@ -181,6 +187,7 @@ def run_refine(options: Optional[dict] = None) -> bool:
         engine = ExplorationEngine(
             strategy=options.get("strategy", "bfs"),
             workers=options.get("workers", 1),
+            backend=options.get("backend", "pipeline"),
         )
     ok = True
     for fill, lib_vars in (
@@ -272,12 +279,12 @@ def run_batch_cmd(options: Optional[dict] = None) -> bool:
 #: Flags each command actually reads; anything else is a usage error
 #: rather than a silent no-op.
 _COMMAND_FLAGS = {
-    "litmus": {"workers", "strategy", "no_cache", "reduction"},
+    "litmus": {"workers", "strategy", "no_cache", "reduction", "backend"},
     "figures": set(),
-    "refine": {"workers", "strategy"},
-    "batch": {"workers", "jobs", "json", "no_cache", "reduction"},
+    "refine": {"workers", "strategy", "backend"},
+    "batch": {"workers", "jobs", "json", "no_cache", "reduction", "backend"},
     "witness": {"workers", "strategy", "reduction"},
-    "all": {"workers", "strategy", "no_cache", "reduction"},
+    "all": {"workers", "strategy", "no_cache", "reduction", "backend"},
 }
 
 
@@ -288,6 +295,7 @@ def _parse_options(args, command: str) -> Optional[dict]:
         "strategy": "bfs",
         "no_cache": False,
         "reduction": "closure",
+        "backend": "pipeline",
     }
     given = set()
     i = 0
@@ -298,6 +306,7 @@ def _parse_options(args, command: str) -> Optional[dict]:
             given.add("no_cache")
         elif flag in (
             "--workers", "--strategy", "--jobs", "--json", "--reduction",
+            "--backend",
         ):
             if i + 1 >= len(args):
                 return None
@@ -323,6 +332,16 @@ def _parse_options(args, command: str) -> Optional[dict]:
                     )
                     return None
                 options["reduction"] = value
+            elif flag == "--backend":
+                from repro.engine import BACKENDS
+
+                if value not in BACKENDS:
+                    print(
+                        f"error: unknown backend {value!r}; expected "
+                        + " or ".join(BACKENDS)
+                    )
+                    return None
+                options["backend"] = value
             else:
                 options["json"] = value
         else:

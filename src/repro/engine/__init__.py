@@ -4,9 +4,13 @@ Exploration as a first-class subsystem, decoupled from the semantics:
 
 * :class:`~repro.engine.core.ExplorationEngine` — one API over pluggable
   frontier strategies (BFS / DFS / random swarm,
-  :mod:`repro.engine.strategy`) and a sharded multiprocess backend
-  (:mod:`repro.engine.parallel`) that partitions the frontier by
-  canonical-key hash across worker processes;
+  :mod:`repro.engine.strategy`) and two sharded multiprocess backends
+  that partition the state space by canonical-key digest:
+  ``"pipeline"`` (:mod:`repro.engine.pipeline`, default for
+  ``workers > 1`` — persistent shard-owned workers, streaming frontier,
+  compact-codec cross-shard batches) and ``"rounds"``
+  (:mod:`repro.engine.parallel` — level-synchronous BFS, shortest
+  recorded parent edges);
 * :class:`~repro.engine.cache.ResultCache` — a persistent result cache
   keyed by stable program fingerprint
   (:mod:`repro.engine.fingerprint`), so repeated litmus/refinement runs
@@ -34,6 +38,7 @@ from repro.engine.batch import (
 )
 from repro.engine.cache import ResultCache, cache_enabled_by_env
 from repro.engine.core import (
+    BACKENDS,
     DEFAULT_MAX_STATES,
     REDUCTIONS,
     ExplorationEngine,
@@ -45,6 +50,7 @@ from repro.engine.fingerprint import (
     program_fingerprint,
 )
 from repro.engine.parallel import explore_parallel
+from repro.engine.pipeline import explore_pipeline
 from repro.engine.result import ExploreResult, ExploreSummary, summarise
 from repro.engine.strategy import (
     BFSFrontier,
@@ -55,6 +61,7 @@ from repro.engine.strategy import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BFSFrontier",
     "BatchReport",
     "DEFAULT_MAX_STATES",
@@ -72,6 +79,7 @@ __all__ = [
     "cache_key",
     "default_engine",
     "explore_parallel",
+    "explore_pipeline",
     "explore_sequential",
     "make_frontier",
     "program_fingerprint",
@@ -84,8 +92,9 @@ def default_engine() -> ExplorationEngine:
     """A CLI-defaults engine, configured from the environment.
 
     Reads ``REPRO_WORKERS`` (default 1), ``REPRO_STRATEGY`` (default
-    ``bfs``), ``REPRO_REDUCTION`` (default ``off``), ``REPRO_CACHE``
-    (set to ``0`` to disable the persistent cache) and
+    ``bfs``), ``REPRO_REDUCTION`` (default ``off``), ``REPRO_BACKEND``
+    (default ``pipeline`` — the sharded backend for ``workers > 1``),
+    ``REPRO_CACHE`` (set to ``0`` to disable the persistent cache) and
     ``REPRO_CACHE_DIR`` afresh on every call, so environment changes
     (and monkeypatched tests) always take effect.  Engines are cheap to
     construct; the heavyweight state — the on-disk cache — is shared
@@ -94,7 +103,12 @@ def default_engine() -> ExplorationEngine:
     workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
     strategy = os.environ.get("REPRO_STRATEGY", "bfs") or "bfs"
     reduction = os.environ.get("REPRO_REDUCTION", "off") or "off"
+    backend = os.environ.get("REPRO_BACKEND", "pipeline") or "pipeline"
     cache = ResultCache() if cache_enabled_by_env() else None
     return ExplorationEngine(
-        strategy=strategy, workers=workers, cache=cache, reduction=reduction
+        strategy=strategy,
+        workers=workers,
+        cache=cache,
+        reduction=reduction,
+        backend=backend,
     )

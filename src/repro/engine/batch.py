@@ -36,14 +36,15 @@ def _job_litmus(use_cache: bool, reduction: str = "closure") -> Dict:
     )
 
     # Honour the environment-configured engine (REPRO_WORKERS /
-    # REPRO_STRATEGY / cache settings) with the batch-level reduction
-    # policy layered on top.
+    # REPRO_STRATEGY / REPRO_BACKEND / cache settings) with the
+    # batch-level reduction policy layered on top.
     base = default_engine()
     engine = ExplorationEngine(
         strategy=base.strategy,
         workers=base.workers,
         cache=base.cache if use_cache else None,
         reduction=reduction,
+        backend=base.backend,
     )
     # "Full" states per test come from the committed reduction-benchmark
     # baseline — the unreduced exploration is *not* re-run here.

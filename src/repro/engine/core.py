@@ -47,6 +47,23 @@ DEFAULT_MAX_STATES = 500_000
 #: the two tuples is test-asserted).
 REDUCTIONS = ("off", "closure")
 
+#: Recognised sharded-backend names (defined here — the import-time
+#: root of the engine package — and used by the parallel module's
+#: dispatch): "pipeline" — persistent shard-owned workers with a
+#: streaming frontier (the default for workers > 1); "rounds" —
+#: level-synchronous BFS, whose recorded parent edges are shortest
+#: (pinned by find_witness).
+BACKENDS = ("pipeline", "rounds")
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown parallel backend {backend!r}; "
+            f"expected one of {', '.join(BACKENDS)}"
+        )
+    return backend
+
 
 def _check_reduction(reduction: str) -> str:
     """Validate a policy spec via the reduction layer's own validator,
@@ -236,6 +253,16 @@ class ExplorationEngine:
         call.  The policy is part of the persistent-cache key: reduced
         and unreduced explorations are cached separately because they
         store different configuration sets.
+    backend:
+        Sharded backend for ``workers > 1`` — ``"pipeline"`` (default:
+        persistent shard-owned workers, streaming frontier,
+        :mod:`repro.engine.pipeline`) or ``"rounds"``
+        (level-synchronous BFS, :mod:`repro.engine.parallel`),
+        overridable per call.  Non-truncated results are bit-identical
+        across backends (and sequential), so the choice is pure
+        performance — except that only ``"rounds"`` guarantees
+        shortest recorded parent edges, which is why
+        :meth:`find_witness` pins it.  Ignored when ``workers == 1``.
     """
 
     def __init__(
@@ -245,13 +272,15 @@ class ExplorationEngine:
         cache=None,
         max_states: int = DEFAULT_MAX_STATES,
         reduction: str = "off",
+        backend: str = "pipeline",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if workers > 1 and strategy != "bfs":
             raise ValueError(
-                "the sharded parallel explorer is level-synchronous BFS; "
-                f"strategy {strategy!r} requires workers=1"
+                "the sharded parallel explorers enumerate shard-complete "
+                f"visited sets (BFS-equivalent); strategy {strategy!r} "
+                "requires workers=1"
             )
         make_frontier(strategy)  # fail fast on a bad spec
         self.strategy = strategy
@@ -259,14 +288,16 @@ class ExplorationEngine:
         self.cache = cache
         self.max_states = max_states
         self.reduction = _check_reduction(reduction)
+        self.backend = _check_backend(backend)
         #: Number of live (non-cached) explorations this engine ran.
         self.explorations = 0
 
     def __repr__(self) -> str:
+        backend = f", backend={self.backend!r}" if self.workers > 1 else ""
         return (
             f"ExplorationEngine(strategy={self.strategy!r}, "
             f"workers={self.workers}, cache={'on' if self.cache else 'off'}, "
-            f"reduction={self.reduction!r})"
+            f"reduction={self.reduction!r}{backend})"
         )
 
     # -- full exploration ---------------------------------------------------
@@ -281,22 +312,32 @@ class ExplorationEngine:
         reduction: Optional[str] = None,
         keep_configs: bool = True,
         track_parents: bool = False,
+        backend: Optional[str] = None,
     ) -> ExploreResult:
         """Run one exploration, honouring this engine's configuration.
 
         ``reduction`` overrides the engine's policy for this call —
         checkers that consume the un-fused transition graph (refinement,
         Owicki–Gries) pass ``reduction="off"`` explicitly.
-        ``keep_configs=False`` lets the sharded backend drop per-state
+        ``keep_configs=False`` lets the sharded backends drop per-state
         payloads once expanded (summary-only consumers); the sequential
         backend keys its visited set by configuration and ignores it.
         ``track_parents`` records each state's first-discovery edge in
-        ``result.parents`` (see :meth:`find_witness`).
+        ``result.parents`` (see :meth:`find_witness`).  ``backend``
+        overrides the engine's sharded backend for this call (used by
+        :meth:`find_witness`, which needs the rounds backend's
+        shortest-parent guarantee); note that the pipeline backend
+        evaluates ``on_config`` worker-side — pure predicates only.
         """
         self.explorations += 1
         cap = self.max_states if max_states is None else max_states
         mode = (
             self.reduction if reduction is None else _check_reduction(reduction)
+        )
+        # Validated even when workers == 1 ignores it: a bad spec is a
+        # usage error, not a silent no-op.
+        chosen_backend = (
+            self.backend if backend is None else _check_backend(backend)
         )
         if self.workers > 1:
             from repro.engine.parallel import explore_parallel
@@ -312,6 +353,7 @@ class ExplorationEngine:
                 reduction=mode,
                 keep_configs=keep_configs,
                 track_parents=track_parents,
+                backend=chosen_backend,
             )
         return explore_sequential(
             program,
@@ -354,10 +396,15 @@ class ExplorationEngine:
         label, no stored configurations — and stops at the first hit;
         the witness is then reconstructed from the recorded graph
         (:func:`repro.semantics.witness.reconstruct_witness`) instead
-        of re-exploring.  Under the default BFS strategy (sequential
-        or sharded — the level-synchronous parallel backend is BFS by
-        construction) the witness is shortest; DFS/swarm engines return
-        a valid but not necessarily minimal execution.
+        of re-exploring.  Under the default BFS strategy the witness is
+        shortest; DFS/swarm engines return a valid but not necessarily
+        minimal execution.  Sharded searches always run on the
+        ``"rounds"`` backend regardless of the engine's configured
+        backend: its level-synchronous rounds are BFS levels, so the
+        recorded parent edges are shortest, and its master-side
+        ``on_config`` lets the probe accumulate the hit configuration
+        (the pipeline backend evaluates callbacks worker-side, where
+        mutations don't propagate).
 
         ``reduction="closure"`` searches the ε-closed macro-step system
         — typically several times fewer states — and the predicate is
@@ -393,6 +440,7 @@ class ExplorationEngine:
             reduction=mode,
             keep_configs=False,
             track_parents=True,
+            backend="rounds",
         )
         if hits:
             key_of = self._witness_key_of(program)

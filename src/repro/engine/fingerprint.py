@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from fractions import Fraction
+from itertools import islice
 from typing import TYPE_CHECKING, Mapping
 
 if TYPE_CHECKING:
@@ -78,9 +79,22 @@ def _encode(obj) -> tuple:
 
 #: Memoised digests of hashable substructures (Actions, AST nodes, …)
 #: which repeat across virtually every canonical key of a run.  Value
-#: keyed — equal values share a digest — and bounded by a crude flush.
+#: keyed — equal values share a digest — and bounded by half-eviction:
+#: when the memo reaches ``_SUB_DIGESTS_MAX`` entries, the oldest
+#: insertion half is dropped (dicts preserve insertion order).  The
+#: live working set — the substructures of the *current* exploration —
+#: is by construction the recently inserted half, so long batch runs
+#: shed the dead weight of earlier programs without ever re-hashing the
+#: current one from cold (a full clear forced exactly that).
 _SUB_DIGESTS: dict = {}
 _SUB_DIGESTS_MAX = 1_000_000
+
+
+def _evict_sub_digests() -> None:
+    """Drop the oldest-inserted half of the substructure memo."""
+    drop = len(_SUB_DIGESTS) // 2
+    for key in list(islice(_SUB_DIGESTS, drop)):
+        del _SUB_DIGESTS[key]
 
 
 def stable_digest(obj, digest_size: int = 16) -> bytes:
@@ -181,7 +195,7 @@ def _sub_digest(x, digest_size: int) -> bytes:
     digest = h.digest()
     if cacheable:
         if len(_SUB_DIGESTS) >= _SUB_DIGESTS_MAX:
-            _SUB_DIGESTS.clear()
+            _evict_sub_digests()
         _SUB_DIGESTS[(digest_size, x)] = digest
     return digest
 

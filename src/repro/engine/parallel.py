@@ -1,46 +1,55 @@
-"""Sharded multiprocess exploration (the engine's parallel backend).
+"""Sharded multiprocess exploration: the ``rounds`` backend + dispatch.
 
-The state space is explored level-synchronously: each round, the current
-frontier is partitioned by canonical-key digest into one shard per
-worker process, the workers independently re-derive every shard
-configuration's successors (programs and configurations are picklable
-immutable dataclasses, so no shared state is needed), and the master
-merges the per-shard successor batches into the global configuration
-map, which also dedups configurations discovered by several shards at
-once.
+Two parallel backends share the same sharding scheme — states are
+assigned to workers by a 16-byte *stable digest* of their canonical key
+(:func:`repro.engine.fingerprint.stable_digest`,
+``PYTHONHASHSEED``-independent, so dedup is consistent across processes
+under both fork and spawn) and cross the process boundary as compact
+codec blobs (:mod:`repro.memory.codec`) — but differ in who owns the
+exploration state:
 
-Two representation choices keep the master's serial section — the
-scalability bottleneck — down to dict operations:
+* ``"rounds"`` (this module) — *level-synchronous BFS*.  Each round the
+  master partitions the global frontier into one shard per pool worker,
+  ``pool.map`` expands the shards, and the master merges every
+  discovered ``(digest, blob)`` back into the global visited set.  The
+  master's serial merge is the scalability bottleneck and every blob
+  round-trips master↔worker twice per state, but the rounds are BFS
+  levels by construction: recorded parent edges are shortest, which is
+  why :meth:`repro.engine.core.ExplorationEngine.find_witness` pins
+  this backend.
+* ``"pipeline"`` (:mod:`repro.engine.pipeline`) — *persistent
+  shard-owned workers*.  Each worker owns its shard's visited set,
+  frontier and result fragments for the whole exploration; same-shard
+  successors never leave the discovering process (no codec round-trip
+  at all) and cross-shard successors stream through the master — now a
+  pure router/terminator — as ``(digest, blob)`` batches.  No round
+  barrier: a worker expands as long as it has local work.  The default
+  for ``workers > 1``.
 
-* State identity crosses the process boundary as a 16-byte *stable
-  digest* of the canonical key (:func:`repro.engine.fingerprint.
-  stable_digest`) rather than the multi-kilobyte structured key itself.
-  Digests are ``PYTHONHASHSEED``-independent, so dedup is consistent
-  across worker processes under both fork and spawn.
-* Configurations transit the master as *opaque pickled bytes*: a worker
-  that discovers a state pickles it once, the master routes the bytes
-  to the owning shard without ever deserialising them, and the owning
-  worker unpickles once to expand it.  Objects are materialised
-  master-side only at the end (and for ``on_config`` callbacks) — and
-  on the summary path (``keep_configs=False``) only the terminal/stuck
-  states a verdict consumes are retained and materialised at all.
-
-Consequently ``configs``/``edges``/``initial_key`` of a parallel result
-are keyed by digests — opaque identifiers, exactly how every consumer
-(refinement, Owicki–Gries, the tests) treats exploration keys — while
-``state_count``, ``edge_count``, terminal/stuck configurations and
-terminal outcomes are bit-identical to sequential BFS on non-truncated
-runs, because visited-set exploration is order-insensitive.
+Both backends key ``configs``/``edges``/``initial_key`` by digests —
+opaque identifiers, exactly how every consumer (refinement,
+Owicki–Gries, the tests) treats exploration keys — and both are
+bit-identical to sequential BFS on non-truncated runs in every
+representation-independent observable (``state_count``, ``edge_count``,
+terminal/stuck configurations, terminal outcomes), because visited-set
+exploration is order-insensitive.
 
 ``workers == 1`` never reaches this module — the engine falls back to
 the in-process sequential loop, which is the deterministic reference.
 
-Each call builds its own pool (workers are initialised with the
-program, so a pool is per-exploration by construction).  Under fork
-that costs milliseconds; under spawn, batching many small explorations
+Each call builds its own worker set (workers are initialised with the
+program, so they are per-exploration by construction).  Under fork that
+costs milliseconds; under spawn, batching many small explorations
 through one parallel engine pays a per-call re-import — prefer
-``workers=1`` for small state spaces and save the sharded backend for
-the large ones, where it matters.
+``workers=1`` for small state spaces and save the sharded backends for
+the large ones, where they matter.
+
+Early-stop/truncation count semantics (both backends): once ``stopped``
+(an ``on_config`` callback returned truthy) or ``truncated`` (the state
+cap was hit) flips, the merge bails out promptly instead of draining
+the batch in hand, so ``state_count``, ``edge_count``, ``terminals``
+and ``stuck`` are *lower bounds* on such runs — exactly the sequential
+loop's contract.
 """
 
 from __future__ import annotations
@@ -50,6 +59,7 @@ import pickle
 import time
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
+from repro.engine.core import _check_backend
 from repro.engine.fingerprint import stable_digest
 from repro.engine.result import ExploreResult
 
@@ -157,33 +167,50 @@ def explore_parallel(
     reduction: str = "off",
     keep_configs: bool = True,
     track_parents: bool = False,
+    backend: str = "pipeline",
 ) -> ExploreResult:
-    """Explore ``program`` with ``workers`` processes, sharding the
-    frontier by canonical-key digest each round.
+    """Explore ``program`` with ``workers`` processes, sharded by
+    canonical-key digest — dispatching to the requested ``backend``
+    (``"pipeline"`` default, ``"rounds"`` the level-synchronous BFS;
+    see the module docstring for the architectural difference).
 
     ``reduction="closure"`` makes the workers expand the reduction
     layer's macro-steps (the master additionally ε-closes the initial
     configuration), with counts and outcomes matching the sequential
     backend under the same policy.
 
-    ``keep_configs=False`` is the summary path: a state's pickled blob
-    is dropped once it has been shipped for expansion (the visited set
-    needs only digests), and only terminal/stuck configurations — what
-    a verdict actually consumes — are materialised at the end.  The
-    result's ``configs`` map then holds just those, with
-    ``state_total`` carrying the true visited count; callers that need
-    the full map or the transition graph keep the default.
+    ``keep_configs=False`` is the summary path: per-state payloads are
+    dropped once expanded (the visited set needs only digests), and
+    only terminal/stuck configurations — what a verdict actually
+    consumes — are materialised at the end.  The result's ``configs``
+    map then holds just those, with ``state_total`` carrying the true
+    visited count; callers that need the full map or the transition
+    graph keep the default.
 
     ``track_parents`` records each state's first-discovery edge as
     ``parents[digest] = (parent digest, tid, component, action)`` —
-    16-byte digests plus an edge label, never configurations.  The
-    level-synchronous rounds are BFS by construction, so the recorded
-    path is shortest in (macro-)steps; combined with
-    ``keep_configs=False`` this is the memory-lean witness-search mode
-    (:meth:`repro.engine.core.ExplorationEngine.find_witness`).
+    16-byte digests plus an edge label, never configurations.  Under
+    ``"rounds"`` the level-synchronous rounds are BFS by construction,
+    so the recorded path is shortest in (macro-)steps; the pipeline
+    backend records *a* valid discovery path (witness reconstruction
+    replays either, but :meth:`~repro.engine.core.ExplorationEngine.
+    find_witness` pins ``"rounds"`` for the shortest-path guarantee).
+    Combined with ``keep_configs=False`` this is the memory-lean
+    witness-search mode.
+
+    One behavioural asymmetry: the pipeline backend evaluates
+    ``on_config`` *worker-side* (with a stop broadcast on a truthy
+    return) instead of unpickling every discovered state master-side.
+    The callback therefore runs in the worker processes — mutations it
+    makes do not propagate back to the caller, so stateful callbacks
+    (accumulating a witness list, counting) need ``backend="rounds"``;
+    pure predicates, the ``reachable``/``assert_invariant`` shape, work
+    under both.  Under a spawn start method an unpicklable callback
+    falls back to ``"rounds"`` transparently.
     """
     from repro.engine.core import explore_sequential, key_function
 
+    _check_backend(backend)  # fail fast even on the sequential fallback
     if workers <= 1:
         return explore_sequential(
             program,
@@ -195,6 +222,24 @@ def explore_parallel(
             reduction=reduction,
             track_parents=track_parents,
         )
+    if backend == "pipeline":
+        from repro.engine.pipeline import explore_pipeline, pipeline_usable
+
+        if pipeline_usable(on_config):
+            return explore_pipeline(
+                program,
+                workers=workers,
+                max_states=max_states,
+                collect_edges=collect_edges,
+                canonicalise=canonicalise,
+                check_invariants=check_invariants,
+                on_config=on_config,
+                reduction=reduction,
+                keep_configs=keep_configs,
+                track_parents=track_parents,
+            )
+        # Spawn-only host and an unpicklable callback: the rounds
+        # backend evaluates on_config master-side and needs neither.
 
     from repro.semantics.config import initial_config
 
@@ -257,6 +302,12 @@ def explore_parallel(
                 _expand_shard, [[blob for _, blob in s] for s in occupied]
             )
             frontier = []
+            # The merge bails out of the whole batch as soon as stopped
+            # or truncated flips: admitting the rest of the round's
+            # targets (and accumulating their edge counts) after an
+            # early stop would inflate `visited`/`edge_count` past the
+            # states the run actually covers.  Counts on such runs are
+            # lower bounds — the documented truncation contract.
             for shard, batch in zip(occupied, batches):
                 for (digest, blob), row in zip(shard, batch):
                     is_terminal, n_edges, labels, targets = row
@@ -279,16 +330,21 @@ def explore_parallel(
                             continue
                         if len(visited) >= max_states:
                             truncated = True
-                            continue
+                            break
                         visited.add(tdigest)
                         if track_parents:
                             parents[tdigest] = (digest,) + label
                         if keep_configs:
                             blobs[tdigest] = tblob
                         frontier.append((tdigest, tblob))
-                        if on_config is not None and not stopped:
+                        if on_config is not None:
                             if on_config(pickle.loads(tblob)):
                                 stopped = True
+                                break
+                    if stopped or truncated:
+                        break
+                if stopped or truncated:
+                    break
     finally:
         pool.close()
         pool.join()

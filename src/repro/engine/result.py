@@ -41,9 +41,12 @@ class ExploreResult:
     #: True when an ``on_config`` callback requested an early halt; the
     #: result then covers only the states visited before the stop.
     stopped: bool = False
-    #: Explicit state total for summary-only explorations
-    #: (``keep_configs=False``), where ``configs`` holds only the
-    #: terminal/stuck configurations a verdict needs.
+    #: Explicit visited-state total, set whenever ``configs`` may hold
+    #: fewer entries than the exploration visited: summary-only
+    #: explorations (``keep_configs=False``, where ``configs`` holds
+    #: only the terminal/stuck configurations a verdict needs) and
+    #: every pipeline-backend result (stopped/truncated pipeline runs
+    #: admit states they never materialise).
     state_total: Optional[int] = None
     #: Predecessor graph recorded when the exploration was asked to
     #: ``track_parents``: state key -> ``(parent_key, tid, component,

@@ -76,6 +76,14 @@ class Action:
             object.__setattr__(self, "_hash", h)
         return h
 
+    def __reduce__(self):
+        """Compact positional encoding with trailing defaults omitted
+        and decode-side interning (:mod:`repro.memory.codec`).  The
+        cached hash is dropped across the pickle boundary as before."""
+        from repro.memory.codec import reduce_action
+
+        return reduce_action(self)
+
     def __getstate__(self):
         state = dict(self.__dict__)
         state.pop("_hash", None)
@@ -128,6 +136,13 @@ class Op:
         if isinstance(other, Op):
             return self.ts == other.ts and self.act == other.act
         return NotImplemented
+
+    def __reduce__(self):
+        """Numeric-pair timestamp encoding with decode-side interning
+        (:mod:`repro.memory.codec`); the cached hash never crosses."""
+        from repro.memory.codec import reduce_op
+
+        return reduce_op(self)
 
     def __getstate__(self):
         return (self.act, self.ts)

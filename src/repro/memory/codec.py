@@ -1,0 +1,194 @@
+"""Compact on-wire codec for configurations crossing process boundaries.
+
+The sharded exploration backends ship configurations between processes
+as pickled blobs, and on a large state space those blobs *are* the
+inter-process traffic: every byte is encoded once by the discovering
+worker and decoded once by the owning worker.  Python's default
+dataclass pickling is wasteful for this workload — each
+:class:`~repro.memory.actions.Action` travels as an 8-entry ``__dict__``
+(key strings and default-valued fields included), each timestamp as a
+``Fraction`` class reference plus a decimal string — so the semantic
+value classes define ``__reduce__`` in terms of the reconstructors in
+this module:
+
+* **positional encoding** — an object is reduced to ``(reconstructor,
+  field values)``, no attribute-name keys and no state dict;
+* **trailing-default truncation** — an ``Action``'s unset kind-specific
+  fields (``rdval``/``method``/``index``/``sync`` for a plain write, …)
+  are simply omitted and restored from the dataclass defaults;
+* **numeric timestamps** — an :class:`~repro.memory.actions.Op` carries
+  its timestamp as a ``(numerator, denominator)`` integer pair instead
+  of a pickled ``Fraction``;
+* **decode-side interning** — the reconstructors intern repeated
+  actions and timestamps in per-process tables, so the configurations a
+  worker decodes share one object per distinct action/timestamp.
+  Beyond memory, interning restores the *identity* sharing that makes
+  pickle's memoisation effective when the worker re-encodes successor
+  states, and it lets the cached ``Action``/``Op`` hashes be computed
+  once per distinct value rather than once per decoded occurrence.
+
+The format changes how objects are written, not what they mean: a
+round-trip is value-identical (bit-identical canonical keys — property-
+tested), and blobs written by the pre-codec format still load, because
+the classes retain their ``__getstate__``/``__setstate__`` methods.
+:func:`legacy_dumps` keeps that pre-codec wire format callable — it is
+the reference the codec's size ratio is benchmarked against
+(``benchmarks/test_bench_parallel_pipeline.py``).
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from fractions import Fraction
+from typing import Tuple
+
+from repro.memory.actions import Action, Op
+from repro.memory.state import ComponentState
+from repro.semantics.config import Config
+from repro.util.fmap import FMap
+
+#: Per-process intern tables (decode side).  Bounded by a full flush —
+#: the distinct-value populations (action field tuples, timestamp
+#: rationals) grow with the program, not the state count, so the caps
+#: exist only as a backstop against pathological workloads.
+_ACTIONS: dict = {}
+_TIMESTAMPS: dict = {}
+_INTERN_MAX = 1 << 20
+
+#: ``Action`` dataclass defaults, positionally aligned with its fields
+#: ``(kind, var, tid, val, rdval, method, index, sync)``.  ``kind`` and
+#: ``var`` have no defaults and are always encoded.
+_ACTION_DEFAULTS = (None, None, None, None, None, None, None, False)
+
+
+def clear_intern_tables() -> None:
+    """Drop both intern tables (test isolation / memory pressure)."""
+    _ACTIONS.clear()
+    _TIMESTAMPS.clear()
+
+
+# -- reduce (encode side) ---------------------------------------------------
+
+
+def reduce_action(act: Action) -> Tuple:
+    """``Action`` → ``(_act, non-default field prefix)``."""
+    args = (
+        act.kind, act.var, act.tid, act.val, act.rdval, act.method,
+        act.index, act.sync,
+    )
+    n = 8
+    while n > 2 and args[n - 1] == _ACTION_DEFAULTS[n - 1]:
+        n -= 1
+    return (_act, args[:n])
+
+
+def reduce_op(op: Op) -> Tuple:
+    """``Op`` → ``(_op, (action, ts numerator, ts denominator))``."""
+    ts = op.ts
+    return (_op, (op.act, ts.numerator, ts.denominator))
+
+
+def reduce_component_state(state: ComponentState) -> Tuple:
+    """``ComponentState`` → its four defining fields, positionally.
+
+    Derived data (indices, view-map caches) is never encoded — exactly
+    the fields ``__getstate__`` kept.  Subclasses (the naive reference
+    state) carry their class so they decode as themselves.
+    """
+    cls = type(state)
+    if cls is ComponentState:
+        return (_cstate, (state.ops, state.tview, state.mview, state.cvd))
+    return (
+        _cstate_of, (cls, state.ops, state.tview, state.mview, state.cvd)
+    )
+
+
+def reduce_config(cfg: Config) -> Tuple:
+    """``Config`` → ``(P, ls, γ, β)`` positionally, dropping any cached
+    canonical data (process-specific derived state)."""
+    return (_config, (cfg.cmds, cfg.locals, cfg.gamma, cfg.beta))
+
+
+# -- reconstructors (decode side) -------------------------------------------
+
+
+def _act(*args) -> Action:
+    """Rebuild (and intern) an ``Action`` from its non-default prefix."""
+    try:
+        cached = _ACTIONS.get(args)
+    except TypeError:  # unhashable value field: rebuild without interning
+        return Action(*args)
+    if cached is None:
+        if len(_ACTIONS) >= _INTERN_MAX:
+            _ACTIONS.clear()
+        cached = _ACTIONS[args] = Action(*args)
+    return cached
+
+
+def _op(act: Action, num: int, den: int) -> Op:
+    """Rebuild an ``Op``, interning its timestamp rational."""
+    key = (num, den)
+    ts = _TIMESTAMPS.get(key)
+    if ts is None:
+        if len(_TIMESTAMPS) >= _INTERN_MAX:
+            _TIMESTAMPS.clear()
+        ts = _TIMESTAMPS[key] = Fraction(num, den)
+    return Op(act, ts)
+
+
+def _cstate(ops, tview, mview, cvd) -> ComponentState:
+    return ComponentState(ops=ops, tview=tview, mview=mview, cvd=cvd)
+
+
+def _cstate_of(cls, ops, tview, mview, cvd) -> ComponentState:
+    return cls(ops=ops, tview=tview, mview=mview, cvd=cvd)
+
+
+def _config(cmds, locals_, gamma, beta) -> Config:
+    return Config(cmds=cmds, locals=locals_, gamma=gamma, beta=beta)
+
+
+# -- blob helpers -----------------------------------------------------------
+
+
+def config_blob(cfg: Config) -> bytes:
+    """Encode one configuration with the compact codec (the exact bytes
+    the sharded backends put on the wire)."""
+    return pickle.dumps(cfg, pickle.HIGHEST_PROTOCOL)
+
+
+def load_blob(blob: bytes) -> Config:
+    """Decode a configuration blob (either wire format)."""
+    return pickle.loads(blob)
+
+
+# -- pre-codec reference format ---------------------------------------------
+
+
+def _legacy_new(cls):
+    return cls.__new__(cls)
+
+
+class _LegacyPickler(pickle.Pickler):
+    """The pre-codec wire format: class + ``__getstate__`` state.
+
+    ``reducer_override`` takes priority over the classes' ``__reduce__``
+    methods, so this pickler reproduces how the semantic value classes
+    serialised before the codec existed — dict-shaped state with
+    attribute-name keys, all eight ``Action`` fields, ``Fraction``
+    timestamps.  Kept as the measured reference for the codec's
+    size/time benchmark, not used by any backend.
+    """
+
+    def reducer_override(self, obj):
+        if isinstance(obj, (Action, ComponentState, Config, Op, FMap)):
+            return (_legacy_new, (type(obj),), obj.__getstate__())
+        return NotImplemented
+
+
+def legacy_dumps(obj) -> bytes:
+    """Pickle ``obj`` in the pre-codec reference format."""
+    buf = io.BytesIO()
+    _LegacyPickler(buf, pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buf.getvalue()

@@ -62,10 +62,18 @@ class ComponentState:
     cvd: FrozenSet[Op] = frozenset()
 
     # -- serialisation -------------------------------------------------------
+    def __reduce__(self):
+        """Compact positional encoding of the four defining fields
+        (:mod:`repro.memory.codec`); indices, view-map caches and any
+        cached canonical data are derived — receivers rebuild lazily."""
+        from repro.memory.codec import reduce_component_state
+
+        return reduce_component_state(self)
+
     def __getstate__(self):
-        """Pickle only the defining fields: the indices, view-map cache
-        and any cached canonical data are derived (and, via cached
-        hashes, process-specific) — receivers rebuild them lazily."""
+        """The defining fields only (pre-codec wire format — retained so
+        old pickles load and :func:`repro.memory.codec.legacy_dumps`
+        can reproduce the format for benchmarking)."""
         return {
             "ops": self.ops,
             "tview": self.tview,

@@ -31,10 +31,18 @@ class Config:
     beta: ComponentState  # library component
 
     # -- serialisation -------------------------------------------------------
+    def __reduce__(self):
+        """Compact positional encoding of the four defining fields
+        (:mod:`repro.memory.codec`): cached canonical keys (installed by
+        :mod:`repro.semantics.canon`) are derived data and would bloat
+        the sharded explorer's cross-process byte stream."""
+        from repro.memory.codec import reduce_config
+
+        return reduce_config(self)
+
     def __getstate__(self):
-        """Pickle the four defining fields only: cached canonical keys
-        (installed by :mod:`repro.semantics.canon`) are derived data and
-        would bloat the sharded explorer's cross-process byte stream."""
+        """The defining fields only (pre-codec wire format — retained so
+        old pickles load and the codec benchmark has its reference)."""
         return {
             "cmds": self.cmds,
             "locals": self.locals,

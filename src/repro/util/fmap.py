@@ -98,9 +98,16 @@ class FMap(Mapping[K, V]):
         return FMap(new)
 
     # -- serialisation -----------------------------------------------------
+    def __reduce__(self):
+        """Constructor-shaped encoding (``FMap(dict)``): one class
+        reference and the mapping, no state dict — and the cached hash,
+        which folds per-process string hashes (``PYTHONHASHSEED``),
+        never crosses processes."""
+        return (FMap, (self._d,))
+
     def __getstate__(self):
-        """Pickle the mapping only: the cached hash folds per-process
-        string hashes (``PYTHONHASHSEED``) and must not cross processes."""
+        """Pre-codec wire format (kept for old pickles and the codec
+        benchmark's reference pickler)."""
         return self._d
 
     def __setstate__(self, d) -> None:

@@ -116,6 +116,27 @@ class TestFingerprint:
         assert len(set(prints[0].split(","))) == len(prints[0].split(","))
 
 
+class TestSubDigestEviction:
+    def test_half_eviction_keeps_newest_and_stays_correct(self, monkeypatch):
+        """The substructure memo evicts its oldest-inserted half at the
+        cap — it must never grow past the cap, must retain the recent
+        half (the live working set), and eviction must not change any
+        digest."""
+        from repro.engine import fingerprint as fp
+
+        monkeypatch.setattr(fp, "_SUB_DIGESTS", {})
+        monkeypatch.setattr(fp, "_SUB_DIGESTS_MAX", 10)
+        keys = [("sub", i, str(i)) for i in range(25)]
+        digests = [fp.stable_digest((k, k)) for k in keys]
+        assert len(fp._SUB_DIGESTS) <= 10
+        # The most recently inserted substructures survived...
+        remembered = {k for (_size, k) in fp._SUB_DIGESTS}
+        assert keys[-1] in remembered and keys[0] not in remembered
+        # ...and re-digesting from a cold memo reproduces every digest.
+        monkeypatch.setattr(fp, "_SUB_DIGESTS", {})
+        assert [fp.stable_digest((k, k)) for k in keys] == digests
+
+
 class TestResultCache:
     def test_miss_then_hit(self, tmp_path):
         cache = ResultCache(tmp_path)

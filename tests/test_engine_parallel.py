@@ -1,16 +1,25 @@
-"""Parity tests for the sharded multiprocess explorer.
+"""Parity tests for the ``rounds`` sharded backend.
 
 On non-truncated runs the parallel engine must be bit-identical to
 sequential BFS: same configuration set, ``state_count``, ``edge_count``,
 terminal outcomes and litmus verdicts.  The full litmus catalog is the
 parity corpus; a couple of targeted tests cover edge collection,
-early-stop and the ``workers=1`` deterministic fallback.
+early-stop (including the master-loop bail-out once it flips) and the
+``workers=1`` deterministic fallback.
+
+This file pins ``backend="rounds"`` — the level-synchronous backend
+whose master-side ``on_config`` supports the stateful probes used below.
+The pipeline backend has its own parity suite
+(``tests/test_engine_pipeline.py``) with worker-side-safe predicates.
 """
 
 import pytest
 
 from repro.engine import ExplorationEngine
 from repro.engine.parallel import explore_parallel
+from repro.lang import ast as A
+from repro.lang.expr import Lit
+from repro.lang.program import Program, Thread
 from repro.litmus.catalog import LITMUS_TESTS, run_litmus
 from repro.semantics.explore import explore
 
@@ -19,7 +28,7 @@ WORKERS = 2
 
 @pytest.fixture(scope="module")
 def parallel_engine():
-    return ExplorationEngine(workers=WORKERS)
+    return ExplorationEngine(workers=WORKERS, backend="rounds")
 
 
 class TestCatalogParity:
@@ -99,6 +108,40 @@ class TestParallelBehaviour:
         # Identical including insertion order: same code path.
         assert list(fallback.configs) == list(seq.configs)
         assert fallback.edge_count == seq.edge_count
+
+    def test_unknown_backend_rejected(self):
+        test = LITMUS_TESTS[0]
+        with pytest.raises(ValueError, match="unknown parallel backend"):
+            explore_parallel(
+                test.build(), workers=2, max_states=100, backend="nope"
+            )
+
+    def test_early_stop_bails_out_of_the_round(self):
+        """Once ``stopped`` flips mid-round, the master must stop
+        admitting the rest of the round's targets: the result covers
+        the states visited *before* the stop, not the whole round."""
+        program = Program(
+            threads={
+                str(i): Thread(A.Write(f"x{i}", Lit(1))) for i in (1, 2, 3)
+            },
+            client_vars={f"x{i}": 0 for i in (1, 2, 3)},
+        )
+
+        def probe(cfg):  # false on the initial configuration only
+            # (γ_Init already holds the value-0 initialisation writes)
+            return any(op.act.val == 1 for op in cfg.gamma.ops)
+
+        result = explore_parallel(
+            program,
+            workers=WORKERS,
+            max_states=500_000,
+            on_config=probe,
+            backend="rounds",
+        )
+        assert result.stopped
+        # The initial configuration has three successors; pre-fix the
+        # master admitted all of them after the first one matched.
+        assert result.state_count == 2
 
     def test_invariant_checking_in_workers(self, parallel_engine):
         # Diagnostic mode must survive the worker boundary.

@@ -1,0 +1,225 @@
+"""Parity suite for the pipelined sharded backend.
+
+The pipeline backend (:mod:`repro.engine.pipeline`) must be
+bit-identical to sequential BFS in every representation-independent
+observable on non-truncated runs — state and edge counts, terminal
+valuations, stuck-existence — across the full litmus catalog and the
+five abstract-object/lock client programs, at 2 and 4 workers,
+under both reduction policies, on both the full-map and the summary
+(``keep_configs=False``) paths.  ``reachable``/``assert_invariant``-
+shaped verdicts (worker-side pure predicates with a stop broadcast)
+must agree with the sequential wrappers, witnesses reconstructed from
+pipeline-tracked parents must replay, and truncation must respect the
+global cap through the per-shard budgets.
+"""
+
+import pytest
+
+from repro.engine import ExplorationEngine
+from repro.engine.core import explore_sequential
+from repro.engine.fingerprint import stable_digest
+from repro.litmus.catalog import LITMUS_TESTS
+from repro.semantics.canon import canonical_key
+from repro.semantics.explore import reachable
+from repro.semantics.witness import reconstruct_witness, replay_witness
+from tests.conftest import (
+    abstract_lock_client,
+    seqlock_client,
+    spinlock_client,
+    stack_program,
+    ticketlock_client,
+)
+
+WORKER_COUNTS = (2, 4)
+REDUCTIONS = ("off", "closure")
+
+OBJECT_CLIENTS = (
+    ("abstract-lock", abstract_lock_client),
+    ("seqlock", seqlock_client),
+    ("ticketlock", ticketlock_client),
+    ("spinlock", spinlock_client),
+    ("stack-mp", lambda: stack_program(sync=True)),
+)
+
+#: Sequential references, computed once per (builder id, reduction).
+_REFS: dict = {}
+
+
+def _reference(name, build, reduction):
+    key = (name, reduction)
+    if key not in _REFS:
+        _REFS[key] = explore_sequential(build(), reduction=reduction)
+    return _REFS[key]
+
+
+def _terminal_valuations(result):
+    return {
+        tuple(
+            sorted((tid, ls.items_sorted()) for tid, ls in cfg.locals.items())
+        )
+        for cfg in result.terminals
+    }
+
+
+def _assert_parity(ref, par):
+    assert not par.truncated and not par.stopped
+    assert par.state_count == ref.state_count
+    assert par.edge_count == ref.edge_count
+    assert len(par.terminals) == len(ref.terminals)
+    assert len(par.stuck) == len(ref.stuck)
+    assert _terminal_valuations(par) == _terminal_valuations(ref)
+    assert bool(par.stuck) == bool(ref.stuck)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("reduction", REDUCTIONS)
+class TestCatalogParity:
+    def test_full_litmus_catalog(self, workers, reduction):
+        engine = ExplorationEngine(workers=workers, reduction=reduction)
+        assert engine.backend == "pipeline"
+        for test in LITMUS_TESTS:
+            ref = _reference(test.name, test.build, reduction)
+            for keep_configs in (True, False):
+                par = engine.explore(
+                    test.build(), keep_configs=keep_configs
+                )
+                _assert_parity(ref, par)
+                assert par.terminal_locals(*test.regs) == ref.terminal_locals(
+                    *test.regs
+                ), test.name
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("reduction", REDUCTIONS)
+@pytest.mark.parametrize(
+    "name,build", OBJECT_CLIENTS, ids=[n for n, _ in OBJECT_CLIENTS]
+)
+class TestObjectClientParity:
+    def test_client(self, workers, reduction, name, build):
+        engine = ExplorationEngine(workers=workers, reduction=reduction)
+        ref = _reference(name, build, reduction)
+        for keep_configs in (True, False):
+            par = engine.explore(build(), keep_configs=keep_configs)
+            _assert_parity(ref, par)
+
+
+class TestVerdictParity:
+    """``reachable``/``assert_invariant``-shaped verdicts — a pure
+    predicate passed as ``on_config``, evaluated worker-side — agree
+    with the sequential wrappers under both reduction policies."""
+
+    @pytest.mark.parametrize("reduction", REDUCTIONS)
+    def test_weak_outcome_reachability(self, reduction):
+        engine = ExplorationEngine(workers=2, reduction=reduction)
+        by_name = {t.name: t for t in LITMUS_TESTS}
+        for name in ("MP-relaxed", "MP-RA", "MP-await-RA", "SB-relaxed"):
+            test = by_name[name]
+
+            def weak(cfg, test=test):
+                return cfg.is_terminal() and test.outcome_of(cfg) in test.weak
+
+            seq_hit = reachable(
+                test.build(), weak, reduction=reduction
+            ) is not None
+            par = engine.explore(test.build(), on_config=weak)
+            assert par.stopped == seq_hit == test.weak_allowed, name
+            if not seq_hit:  # exhaustive no-hit run must stay complete
+                assert not par.truncated
+
+    @pytest.mark.parametrize("reduction", REDUCTIONS)
+    def test_invariant_verdicts(self, reduction):
+        engine = ExplorationEngine(workers=2, reduction=reduction)
+        by_name = {t.name: t for t in LITMUS_TESTS}
+        program = by_name["MP-ring-2-RA"].build()
+
+        def violates_published(cfg):  # never true: the invariant holds
+            if not cfg.is_terminal():
+                return False
+            return not (
+                cfg.local("1", "r0") == 5 and cfg.local("2", "r1") == 5
+            )
+
+        held = engine.explore(program, on_config=violates_published)
+        assert not held.stopped and not held.truncated
+
+        def violates_impossible(cfg):  # any non-terminal state violates
+            return not cfg.is_terminal()
+
+        broken = engine.explore(program, on_config=violates_impossible)
+        assert broken.stopped
+
+
+class TestPipelineBehaviour:
+    def test_truncation_respects_global_cap(self):
+        engine = ExplorationEngine(workers=2)
+        result = engine.explore(LITMUS_TESTS[0].build(), max_states=3)
+        assert result.truncated
+        assert result.state_count <= 3
+
+    def test_find_witness_is_shortest_via_rounds(self):
+        """find_witness on a pipeline engine pins the rounds backend:
+        the witness length matches the sequential (BFS) one."""
+        by_name = {t.name: t for t in LITMUS_TESTS}
+        test = by_name["MP-relaxed"]
+
+        def weak(cfg):
+            return test.outcome_of(cfg) in test.weak
+
+        seq_wit = ExplorationEngine().find_witness(
+            test.build(), weak, terminal_only=True
+        )
+        par_wit = ExplorationEngine(workers=2).find_witness(
+            test.build(), weak, terminal_only=True
+        )
+        assert par_wit is not None and len(par_wit) == len(seq_wit)
+
+    @pytest.mark.parametrize("reduction", REDUCTIONS)
+    def test_witness_replay_from_pipeline_parents(self, reduction):
+        """Parents recorded by the pipeline backend reconstruct into
+        witnesses that replay through the raw semantics — valid
+        discovery paths, even though not necessarily shortest."""
+        by_name = {t.name: t for t in LITMUS_TESTS}
+        test = by_name["MP-relaxed"]
+        program = test.build()
+        engine = ExplorationEngine(workers=2, reduction=reduction)
+        result = engine.explore(program, track_parents=True)
+
+        def key_of(cfg):
+            return stable_digest(canonical_key(program, cfg))
+
+        target = next(
+            cfg
+            for cfg in result.terminals
+            if test.outcome_of(cfg) in test.weak
+        )
+        witness = reconstruct_witness(
+            program, result.parents, key_of(target), key_of,
+            reduction=reduction,
+        )
+        final = replay_witness(program, witness)
+        assert test.outcome_of(final) in test.weak
+
+    def test_worker_failure_surfaces(self):
+        """An exception inside a worker must fail the exploration (not
+        hang it) and re-raise with its original type master-side, as
+        the rounds and sequential backends do."""
+        engine = ExplorationEngine(workers=2)
+
+        def boom(cfg):
+            raise KeyError("probe exploded")
+
+        with pytest.raises(KeyError, match="probe exploded"):
+            engine.explore(LITMUS_TESTS[0].build(), on_config=boom)
+
+    def test_summary_path_keeps_sinks_only(self):
+        engine = ExplorationEngine(workers=2)
+        test = LITMUS_TESTS[0]
+        full = engine.explore(test.build())
+        summary = engine.explore(test.build(), keep_configs=False)
+        assert summary.state_total == full.state_count
+        assert len(summary.configs) == len(summary.terminals) + len(
+            summary.stuck
+        )
+        assert summary.terminal_locals(*test.regs) == full.terminal_locals(
+            *test.regs
+        )

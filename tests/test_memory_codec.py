@@ -1,0 +1,128 @@
+"""The compact config codec: round-trip exactness, interning, size.
+
+The codec (:mod:`repro.memory.codec`) changes how configurations are
+written, never what they mean: a pickle round-trip must be
+value-identical — bit-identical canonical keys, equal raw fields — on
+hypothesis-random configurations and across the litmus catalog; the
+decode side must intern repeated actions and timestamps; and the
+compact format must actually be smaller than the pre-codec reference
+format it replaced (the ≥1.3x wire-ratio claim lives in
+``benchmarks/test_bench_parallel_pipeline.py``).
+"""
+
+import pickle
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.litmus.catalog import LITMUS_TESTS
+from repro.memory import codec
+from repro.memory.actions import Action, Op, mk_method, mk_update, mk_write
+from repro.memory.naive import NaiveComponentState
+from repro.semantics.canon import canonical_key
+from repro.semantics.explore import explore
+from tests.test_property_semantics import programs
+
+
+def _roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj, pickle.HIGHEST_PROTOCOL))
+
+
+class TestRoundTrip:
+    def test_litmus_configs_bit_identical(self):
+        for test in LITMUS_TESTS[:8]:
+            program = test.build()
+            result = explore(program)
+            for cfg in result.configs.values():
+                back = _roundtrip(cfg)
+                assert back == cfg
+                assert canonical_key(program, back) == canonical_key(
+                    program, cfg
+                )
+
+    @settings(max_examples=30, deadline=None)
+    @given(p=programs())
+    def test_random_configs_bit_identical(self, p):
+        result = explore(p, max_states=300)
+        for cfg in result.configs.values():
+            back = _roundtrip(cfg)
+            assert back == cfg
+            assert canonical_key(p, back) == canonical_key(p, cfg)
+
+    def test_legacy_format_still_loads(self):
+        """Blobs in the pre-codec wire format decode to equal values."""
+        program = LITMUS_TESTS[0].build()
+        result = explore(program)
+        for cfg in list(result.configs.values())[:20]:
+            assert pickle.loads(codec.legacy_dumps(cfg)) == cfg
+
+    def test_naive_state_decodes_as_itself(self):
+        """Subclasses of ComponentState survive the codec as their own
+        class (the naive reference state stays naive)."""
+        from repro.memory.naive import naive_initial_config
+
+        cfg = naive_initial_config(LITMUS_TESTS[0].build())
+        back = _roundtrip(cfg)
+        assert type(back.gamma) is NaiveComponentState
+        assert back == cfg
+
+
+class TestActionEncoding:
+    def test_trailing_defaults_truncated(self):
+        plain = mk_write("x", 1, "1")
+        _fn, args = codec.reduce_action(plain)
+        assert args == ("wr", "x", "1", 1)  # rdval/method/index/sync gone
+        assert Action(*args) == plain
+
+    def test_all_fields_preserved(self):
+        for act in (
+            mk_write("x", 0, "2", release=True),
+            mk_update("y", 1, 2, "1"),
+            mk_method("lock", "acquire", tid="1", index=3, sync=True),
+            Action(kind="wr", var="x", tid=None, val=None),
+        ):
+            assert _roundtrip(act) == act
+
+    def test_op_timestamp_numeric_pair(self):
+        op = Op(mk_write("x", 1, "1"), Fraction(3, 2))
+        _fn, args = codec.reduce_op(op)
+        assert args[1:] == (3, 2)
+        back = _roundtrip(op)
+        assert back == op and back.ts == Fraction(3, 2)
+
+
+class TestInterning:
+    def test_actions_and_timestamps_interned_on_decode(self):
+        codec.clear_intern_tables()
+        op = Op(mk_write("x", 1, "1"), Fraction(5, 4))
+        a = _roundtrip(op)
+        b = _roundtrip(op)
+        assert a.act is b.act  # one Action object per distinct value
+        assert a.ts is b.ts  # one Fraction object per distinct rational
+
+    def test_intern_tables_bounded(self, monkeypatch):
+        codec.clear_intern_tables()
+        monkeypatch.setattr(codec, "_INTERN_MAX", 8)
+        ops = [
+            Op(mk_write("x", v, "1"), Fraction(v + 1, 1)) for v in range(50)
+        ]
+        for op in ops:
+            back = _roundtrip(op)
+            assert back == op  # overflow flushes, never corrupts
+        assert len(codec._TIMESTAMPS) <= 8
+
+
+class TestCompactness:
+    def test_codec_beats_legacy_format(self):
+        """The compact format is strictly smaller than the pre-codec
+        reference on every explored litmus configuration set."""
+        for test in LITMUS_TESTS[:4]:
+            result = explore(test.build())
+            new = sum(
+                len(pickle.dumps(c, pickle.HIGHEST_PROTOCOL))
+                for c in result.configs.values()
+            )
+            old = sum(
+                len(codec.legacy_dumps(c)) for c in result.configs.values()
+            )
+            assert new < old, test.name
