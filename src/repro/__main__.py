@@ -31,13 +31,21 @@ Options:
   states) | ``off`` (the unreduced semantics) for ``litmus``/``batch``;
 * ``--no-cache``    — disable the persistent result cache;
 * ``--jobs a,b,c``  — subset of batch jobs (default: all);
-* ``--json PATH``   — write the batch report to PATH.
+* ``--json PATH``   — write the batch report to PATH;
+* ``--trace PATH``  — append a JSONL telemetry stream (exploration
+  spans, metrics samples, batch job lifecycle — schema documented in
+  :mod:`repro.obs.trace`) to PATH; ``REPRO_TRACE`` sets a default;
+* ``--quiet``/``-q`` — suppress the telemetry/cache summary lines and
+  the live progress heartbeat;
+* ``--verbose``/``-v`` — debug-level ``repro`` logging on stderr.
 
 Flags only apply to commands that read them (``--jobs``/``--json`` are
 batch-only, ``figures`` takes none); inapplicable flags are rejected.
 
 The cache directory honours ``REPRO_CACHE_DIR`` (default
 ``~/.cache/repro-engine``); ``REPRO_CACHE=0`` disables caching globally.
+``REPRO_LOG`` (``quiet``/``info``/``debug`` or ``0``/``1``/``2``) sets
+the default verbosity when neither ``--quiet`` nor ``-v`` is given.
 """
 
 from __future__ import annotations
@@ -46,20 +54,40 @@ import sys
 from typing import Optional
 
 
+def _make_trace(options: dict):
+    """The command's JSONL trace sink: ``--trace`` wins, then
+    ``REPRO_TRACE``, else None.  The caller owns closing it."""
+    from repro.obs import TraceWriter, trace_from_env
+
+    path = options.get("trace")
+    if path:
+        return TraceWriter(path)
+    return trace_from_env()
+
+
 def _make_engine(options: Optional[dict] = None):
-    """Build the exploration engine the CLI commands route through."""
+    """Build the exploration engine the CLI commands route through,
+    with the observability sinks attached: an always-on metrics
+    registry (the summary line is printed unless ``--quiet``), the
+    optional JSONL trace and a live progress heartbeat (auto-disabled
+    off-TTY, forced off by ``--quiet``)."""
     from repro.engine import ExplorationEngine, ResultCache, cache_enabled_by_env
+    from repro.obs import Metrics, Progress
 
     options = options or {}
     cache = None
     if not options.get("no_cache") and cache_enabled_by_env():
         cache = ResultCache()
+    quiet = options.get("quiet", False)
     return ExplorationEngine(
         strategy=options.get("strategy", "bfs"),
         workers=options.get("workers", 1),
         cache=cache,
         reduction=options.get("reduction", "closure"),
         backend=options.get("backend", "pipeline"),
+        metrics=Metrics(),
+        trace=_make_trace(options),
+        progress=None if quiet else Progress(),
     )
 
 
@@ -72,54 +100,73 @@ def run_litmus(options: Optional[dict] = None) -> bool:
     """
     from repro.litmus.catalog import LITMUS_TESTS, reduction_baseline, run_litmus
 
+    options = options or {}
+    quiet = options.get("quiet", False)
     engine = _make_engine(options)
     baseline = (
         reduction_baseline() if engine.reduction == "closure" else None
     )
     full_col = f" {'full':>7s}" if baseline is not None else ""
     ok = True
-    print(
-        f"{'litmus test':20s} {'states':>7s}{full_col} {'weak':>10s} "
-        f"{'src':>6s} verdict"
-    )
-    # Both totals run over the tests the baseline covers, so the printed
-    # ratio always compares like with like (a catalog entry added since
-    # the baseline was regenerated is shown with `?` and excluded).
-    explored_total = 0
-    full_total = 0
-    for test in LITMUS_TESTS:
-        result = run_litmus(test, engine=engine, use_cache=True)
-        ok &= result["verdict_ok"]
-        weak = "observed" if result["weak_observed"] else "absent"
-        src = "cache" if result["cached"] else "run"
-        full = ""
-        if baseline is not None:
-            full_states = baseline.get(test.name)
-            if full_states is not None:
-                full = f" {full_states:7d}"
-                full_total += full_states
-                explored_total += result["states"]
-            else:
-                full = f" {'?':>7s}"
+    try:
+        if engine.trace is not None:
+            engine.trace.emit("litmus.start", tests=len(LITMUS_TESTS))
         print(
-            f"{test.name:20s} {result['states']:7d}{full} {weak:>10s} "
-            f"{src:>6s} {'OK' if result['verdict_ok'] else 'MISMATCH'}"
+            f"{'litmus test':20s} {'states':>7s}{full_col} {'weak':>10s} "
+            f"{'src':>6s} verdict"
         )
-        if not result["verdict_ok"] and result.get("witness"):
-            print("  violating schedule:")
-            for line in result["witness"]:
-                print(f"    {line}")
-    if baseline is not None and full_total:
-        print(
-            f"reduction: {explored_total} states stored vs {full_total} "
-            f"unreduced ({full_total / max(explored_total, 1):.2f}x, "
-            "baseline benchmarks/BENCH_reduction.json)"
-        )
-    if engine.cache is not None:
-        print(
-            f"engine: {engine.explorations} explorations, "
-            f"cache {engine.cache.hits} hits / {engine.cache.misses} misses"
-        )
+        # Both totals run over the tests the baseline covers, so the
+        # printed ratio always compares like with like (a catalog entry
+        # added since the baseline was regenerated is shown with `?`
+        # and excluded).
+        explored_total = 0
+        full_total = 0
+        for test in LITMUS_TESTS:
+            result = run_litmus(test, engine=engine, use_cache=True)
+            ok &= result["verdict_ok"]
+            weak = "observed" if result["weak_observed"] else "absent"
+            src = "cache" if result["cached"] else "run"
+            full = ""
+            if baseline is not None:
+                full_states = baseline.get(test.name)
+                if full_states is not None:
+                    full = f" {full_states:7d}"
+                    full_total += full_states
+                    explored_total += result["states"]
+                else:
+                    full = f" {'?':>7s}"
+            print(
+                f"{test.name:20s} {result['states']:7d}{full} {weak:>10s} "
+                f"{src:>6s} {'OK' if result['verdict_ok'] else 'MISMATCH'}"
+            )
+            if not result["verdict_ok"] and result.get("witness"):
+                print("  violating schedule:")
+                for line in result["witness"]:
+                    print(f"    {line}")
+        if baseline is not None and full_total:
+            print(
+                f"reduction: {explored_total} states stored vs {full_total} "
+                f"unreduced ({full_total / max(explored_total, 1):.2f}x, "
+                "baseline benchmarks/BENCH_reduction.json)"
+            )
+        if engine.cache is not None:
+            print(
+                f"engine: {engine.explorations} explorations, "
+                f"cache {engine.cache.hits} hits / {engine.cache.misses} misses"
+            )
+        if not quiet:
+            print(engine.metrics.describe())
+            if engine.cache is not None:
+                stats = engine.cache.stats()
+                print(
+                    f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+                    f"{stats['entries']} entries on disk"
+                )
+        if engine.trace is not None:
+            engine.trace.emit("litmus.finish", ok=ok)
+    finally:
+        if engine.trace is not None:
+            engine.trace.close()
     return ok
 
 
@@ -241,6 +288,8 @@ def run_witness(options: Optional[dict] = None) -> bool:
         )
     except VerificationError as exc:
         print(f"{test.name}: {exc}")
+        if engine.trace is not None:
+            engine.trace.close()
         return False
     verdict = "allowed" if test.weak_allowed else "forbidden"
     regs = ", ".join(f"{t}.{r}" for t, r in test.regs)
@@ -255,6 +304,10 @@ def run_witness(options: Optional[dict] = None) -> bool:
         print("unreachable (exhaustive search, no witness exists)")
     ok = (witness is not None) == test.weak_allowed
     print(f"verdict {'OK' if ok else 'MISMATCH'}")
+    if not (options or {}).get("quiet", False):
+        print(engine.metrics.describe())
+    if engine.trace is not None:
+        engine.trace.close()
     return ok
 
 
@@ -263,14 +316,26 @@ def run_batch_cmd(options: Optional[dict] = None) -> bool:
     from repro.engine.batch import run_batch
 
     options = options or {}
-    report = run_batch(
-        jobs=options.get("jobs"),
-        workers=options.get("workers", 1),
-        use_cache=not options.get("no_cache", False),
-        json_path=options.get("json"),
-        reduction=options.get("reduction", "closure"),
-    )
+    trace = _make_trace(options)
+    try:
+        report = run_batch(
+            jobs=options.get("jobs"),
+            workers=options.get("workers", 1),
+            use_cache=not options.get("no_cache", False),
+            json_path=options.get("json"),
+            reduction=options.get("reduction", "closure"),
+            trace=trace,
+        )
+    finally:
+        if trace is not None:
+            trace.close()
     print(report.describe())
+    if not options.get("quiet", False):
+        merged = report.aggregate_metrics()
+        if merged is not None:
+            from repro.obs import Metrics
+
+            print(Metrics().merge(merged).describe())
     if options.get("json"):
         print(f"report written to {options['json']}")
     return report.ok
@@ -279,12 +344,23 @@ def run_batch_cmd(options: Optional[dict] = None) -> bool:
 #: Flags each command actually reads; anything else is a usage error
 #: rather than a silent no-op.
 _COMMAND_FLAGS = {
-    "litmus": {"workers", "strategy", "no_cache", "reduction", "backend"},
+    "litmus": {
+        "workers", "strategy", "no_cache", "reduction", "backend",
+        "trace", "quiet", "verbose",
+    },
     "figures": set(),
-    "refine": {"workers", "strategy", "backend"},
-    "batch": {"workers", "jobs", "json", "no_cache", "reduction", "backend"},
-    "witness": {"workers", "strategy", "reduction"},
-    "all": {"workers", "strategy", "no_cache", "reduction", "backend"},
+    "refine": {"workers", "strategy", "backend", "quiet", "verbose"},
+    "batch": {
+        "workers", "jobs", "json", "no_cache", "reduction", "backend",
+        "trace", "quiet", "verbose",
+    },
+    "witness": {
+        "workers", "strategy", "reduction", "trace", "quiet", "verbose",
+    },
+    "all": {
+        "workers", "strategy", "no_cache", "reduction", "backend",
+        "trace", "quiet", "verbose",
+    },
 }
 
 
@@ -296,6 +372,9 @@ def _parse_options(args, command: str) -> Optional[dict]:
         "no_cache": False,
         "reduction": "closure",
         "backend": "pipeline",
+        "trace": None,
+        "quiet": False,
+        "verbose": False,
     }
     given = set()
     i = 0
@@ -304,9 +383,15 @@ def _parse_options(args, command: str) -> Optional[dict]:
         if flag == "--no-cache":
             options["no_cache"] = True
             given.add("no_cache")
+        elif flag in ("--quiet", "-q"):
+            options["quiet"] = True
+            given.add("quiet")
+        elif flag in ("--verbose", "-v"):
+            options["verbose"] = True
+            given.add("verbose")
         elif flag in (
             "--workers", "--strategy", "--jobs", "--json", "--reduction",
-            "--backend",
+            "--backend", "--trace",
         ):
             if i + 1 >= len(args):
                 return None
@@ -342,6 +427,8 @@ def _parse_options(args, command: str) -> Optional[dict]:
                     )
                     return None
                 options["backend"] = value
+            elif flag == "--trace":
+                options["trace"] = value
             else:
                 options["json"] = value
         else:
@@ -380,6 +467,12 @@ def main(argv) -> int:
         print(__doc__)
         return 2
     options.update(positional)
+    from repro.obs import configure_verbosity
+
+    configure_verbosity(
+        quiet=options.get("quiet", False),
+        verbose=options.get("verbose", False),
+    )
     ok = True
     for i, job in enumerate(dispatch[command]):
         if i:

@@ -21,9 +21,13 @@ framework at startup.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import Metrics
 
 
 def _job_litmus(use_cache: bool, reduction: str = "closure") -> Dict:
@@ -39,12 +43,14 @@ def _job_litmus(use_cache: bool, reduction: str = "closure") -> Dict:
     # REPRO_STRATEGY / REPRO_BACKEND / cache settings) with the
     # batch-level reduction policy layered on top.
     base = default_engine()
+    metrics = Metrics()
     engine = ExplorationEngine(
         strategy=base.strategy,
         workers=base.workers,
         cache=base.cache if use_cache else None,
         reduction=reduction,
         backend=base.backend,
+        metrics=metrics,
     )
     # "Full" states per test come from the committed reduction-benchmark
     # baseline — the unreduced exploration is *not* re-run here.
@@ -69,7 +75,12 @@ def _job_litmus(use_cache: bool, reduction: str = "closure") -> Dict:
         if baseline is not None:
             row["full_states"] = baseline.get(test.name)
         rows.append(row)
-    return {"ok": ok, "detail": rows}
+    if engine.cache is not None:
+        # Structured cache counts ride with the telemetry (the entry
+        # count is a point-in-time reading, hence a gauge).
+        cache_stats = engine.cache.stats()
+        metrics.gauge_max("cache.entries", cache_stats["entries"])
+    return {"ok": ok, "detail": rows, "metrics": metrics.snapshot()}
 
 
 def _job_figures() -> Dict:
@@ -138,6 +149,34 @@ def _job_refine(impl: str) -> Dict:
     }
 
 
+#: Version of the batch-report JSON layout.  2 added the ``meta`` block,
+#: per-job ``metrics`` snapshots and the aggregated report ``metrics``
+#: (the un-versioned original layout is retroactively 1).
+REPORT_SCHEMA = 2
+
+
+def batch_meta(
+    workers: int, use_cache: bool, reduction: str
+) -> Dict[str, object]:
+    """The self-describing ``meta`` block of a batch JSON report:
+    enough provenance that an archived report answers "what ran this,
+    where, with which engine settings" without the shell history."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "use_cache": use_cache,
+        "reduction": reduction,
+        # Engine settings the jobs inherit from the environment.
+        "engine_workers": int(os.environ.get("REPRO_WORKERS", "1") or "1"),
+        "engine_backend": os.environ.get("REPRO_BACKEND", "pipeline")
+        or "pipeline",
+    }
+
+
 #: Registered job names, in default execution order.
 JOB_NAMES = (
     "litmus",
@@ -157,6 +196,10 @@ class JobResult:
     elapsed: float
     detail: object = None
     error: Optional[str] = None
+    #: Telemetry snapshot (``Metrics.snapshot()``) for jobs that run the
+    #: exploration engine with a metrics sink — currently the litmus
+    #: battery; None for the rest.
+    metrics: Optional[Dict] = None
 
     def to_dict(self) -> Dict:
         return {
@@ -165,6 +208,7 @@ class JobResult:
             "elapsed": round(self.elapsed, 3),
             "detail": self.detail,
             "error": self.error,
+            "metrics": self.metrics,
         }
 
 
@@ -175,16 +219,32 @@ class BatchReport:
     jobs: List[JobResult] = field(default_factory=list)
     workers: int = 1
     elapsed: float = 0.0
+    #: Provenance block (:func:`batch_meta`); empty for hand-built
+    #: reports.
+    meta: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return all(j.ok for j in self.jobs)
+
+    def aggregate_metrics(self) -> Optional[Dict]:
+        """All jobs' telemetry merged into one snapshot (None when no
+        job collected any)."""
+        merged = Metrics()
+        found = False
+        for j in self.jobs:
+            if j.metrics:
+                merged.merge(j.metrics)
+                found = True
+        return merged.snapshot() if found else None
 
     def to_dict(self) -> Dict:
         return {
             "ok": self.ok,
             "workers": self.workers,
             "elapsed": round(self.elapsed, 3),
+            "meta": self.meta,
+            "metrics": self.aggregate_metrics(),
             "jobs": [j.to_dict() for j in self.jobs],
         }
 
@@ -241,6 +301,7 @@ def run_job(
         ok=bool(outcome["ok"]),
         elapsed=time.perf_counter() - start,
         detail=outcome.get("detail"),
+        metrics=outcome.get("metrics"),
     )
 
 
@@ -250,6 +311,7 @@ def run_batch(
     use_cache: bool = True,
     json_path: Optional[str] = None,
     reduction: str = "closure",
+    trace=None,
 ) -> BatchReport:
     """Run ``jobs`` (default: all registered) with ``workers`` processes.
 
@@ -258,6 +320,13 @@ def run_batch(
     pool.  When ``json_path`` is given the report is also written there.
     ``reduction`` selects the litmus battery's exploration policy (see
     :func:`run_job`).
+
+    ``trace`` (a :class:`repro.obs.trace.TraceWriter`) receives
+    ``batch.start``/``batch.job.start``/``batch.job.finish``/
+    ``batch.finish`` lifecycle events.  All events are emitted from the
+    coordinating process — the writer never crosses into the pool (it
+    is not picklable), so under ``workers > 1`` job-start events mark
+    submission and job-finish events completion-arrival order.
     """
     names = list(jobs) if jobs is not None else list(JOB_NAMES)
     for name in names:
@@ -269,6 +338,8 @@ def run_batch(
 
     _check_reduction(reduction)
     start = time.perf_counter()
+    if trace is not None:
+        trace.emit("batch.start", jobs=names, workers=workers)
     if workers > 1 and len(names) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
@@ -278,6 +349,9 @@ def run_batch(
             max_workers=min(workers, len(names)),
             mp_context=_pool_context(),
         ) as pool:
+            if trace is not None:
+                for name in names:
+                    trace.emit("batch.job.start", job=name)
             results = list(
                 pool.map(
                     run_job,
@@ -286,11 +360,33 @@ def run_batch(
                     [reduction] * len(names),
                 )
             )
+            if trace is not None:
+                for r in results:
+                    trace.emit(
+                        "batch.job.finish",
+                        job=r.name,
+                        ok=r.ok,
+                        elapsed=r.elapsed,
+                    )
     else:
-        results = [run_job(name, use_cache, reduction) for name in names]
+        results = []
+        for name in names:
+            if trace is not None:
+                trace.emit("batch.job.start", job=name)
+            r = run_job(name, use_cache, reduction)
+            results.append(r)
+            if trace is not None:
+                trace.emit(
+                    "batch.job.finish", job=r.name, ok=r.ok, elapsed=r.elapsed
+                )
     report = BatchReport(
-        jobs=results, workers=workers, elapsed=time.perf_counter() - start
+        jobs=results,
+        workers=workers,
+        elapsed=time.perf_counter() - start,
+        meta=batch_meta(workers, use_cache, reduction),
     )
+    if trace is not None:
+        trace.emit("batch.finish", ok=report.ok, elapsed=report.elapsed)
     if json_path:
         with open(json_path, "w", encoding="utf-8") as fh:
             fh.write(report.to_json() + "\n")

@@ -22,7 +22,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.engine.result import ExploreSummary
 
@@ -118,6 +118,21 @@ class ResultCache:
                 pass
         return removed
 
-    @property
-    def stats(self) -> str:
-        return f"{self.hits} hits, {self.misses} misses, {len(self)} entries"
+    def stats(self) -> Dict[str, int]:
+        """Structured session counters plus the on-disk entry count —
+        the shape the CLI prints and batch JSON reports embed.  Note
+        ``hits``/``misses`` count this process's ``get`` calls while
+        ``entries`` inspects the (shared, persistent) directory."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self),
+        }
+
+    def describe(self) -> str:
+        """The one-line human form of :meth:`stats`."""
+        s = self.stats()
+        return (
+            f"{s['hits']} hits, {s['misses']} misses, "
+            f"{s['entries']} entries"
+        )

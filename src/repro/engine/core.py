@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.engine.result import ExploreResult, ExploreSummary, summarise
 from repro.engine.strategy import make_frontier
+from repro.obs.metrics import Metrics, collecting as _collecting
 
 if TYPE_CHECKING:
     from repro.lang.program import Program
@@ -110,6 +111,8 @@ def explore_sequential(
     strategy="bfs",
     reduction: str = "off",
     track_parents: bool = False,
+    metrics: Optional[Metrics] = None,
+    progress=None,
 ) -> ExploreResult:
     """Enumerate the reachable configurations of ``program`` in-process.
 
@@ -130,67 +133,96 @@ def explore_sequential(
     reconstructed from the explored graph afterwards; under the default
     BFS frontier the recorded path is shortest (DFS/swarm record *a*
     discovery path, not a shortest one).
+
+    ``metrics`` (a :class:`repro.obs.metrics.Metrics`) collects the
+    engine counter schema — states, edges, frontier peak, elapsed, and
+    (installed as the active collector for the duration) the reduction
+    layer's fusion/prune counts — and its snapshot lands on
+    ``result.metrics``.  ``progress`` (a
+    :class:`repro.obs.progress.Progress`) receives rate-limited
+    ``update`` calls while the loop runs.  Both default to ``None``,
+    which keeps the hot loop's telemetry cost to one boolean test per
+    expanded configuration.
     """
     from repro.semantics.config import initial_config
 
     successors = successor_function(reduction)
     start = time.perf_counter()
-    init = initial_config(program)
-    if reduction == "closure":
-        from repro.semantics.reduce import close_config
+    with _collecting(metrics):
+        init = initial_config(program)
+        if reduction == "closure":
+            from repro.semantics.reduce import close_config
 
-        init = close_config(program, init)
-    keyf = key_function(program, canonicalise)
+            init = close_config(program, init)
+        keyf = key_function(program, canonicalise)
 
-    init_key = keyf(init)
-    configs: Dict[Tuple, Config] = {init_key: init}
-    parents: Optional[Dict[Tuple, Optional[Tuple]]] = (
-        {init_key: None} if track_parents else None
-    )
-    edges: Optional[Dict[Tuple, List]] = {} if collect_edges else None
-    terminals: List[Config] = []
-    stuck: List[Config] = []
-    edge_count = 0
-    truncated = False
-    stopped = False
+        init_key = keyf(init)
+        configs: Dict[Tuple, Config] = {init_key: init}
+        parents: Optional[Dict[Tuple, Optional[Tuple]]] = (
+            {init_key: None} if track_parents else None
+        )
+        edges: Optional[Dict[Tuple, List]] = {} if collect_edges else None
+        terminals: List[Config] = []
+        stuck: List[Config] = []
+        edge_count = 0
+        truncated = False
+        stopped = False
+        # One boolean gates all per-iteration telemetry: with no sinks
+        # installed the loop pays a single test per expanded state.
+        instrumented = metrics is not None or progress is not None
+        frontier_peak = 0
 
-    frontier = make_frontier(strategy)
-    frontier.push(init_key, init)
-    while frontier:
-        key, cfg = frontier.pop()
-        if check_invariants:
-            cfg.gamma.check_invariants(program.tids)
-            cfg.beta.check_invariants(program.tids)
-        if on_config is not None and on_config(cfg):
-            stopped = True
-            break
-        succs = successors(program, cfg)
-        if collect_edges:
-            edges[key] = []
-        if not succs:
-            if cfg.is_terminal():
-                terminals.append(cfg)
-            else:
-                stuck.append(cfg)
-            continue
-        for tr in succs:
-            edge_count += 1
-            tkey = keyf(tr.target)
+        frontier = make_frontier(strategy)
+        frontier.push(init_key, init)
+        while frontier:
+            key, cfg = frontier.pop()
+            if instrumented:
+                depth = len(frontier)
+                if depth > frontier_peak:
+                    frontier_peak = depth
+                if progress is not None:
+                    progress.update(len(configs))
+            if check_invariants:
+                cfg.gamma.check_invariants(program.tids)
+                cfg.beta.check_invariants(program.tids)
+            if on_config is not None and on_config(cfg):
+                stopped = True
+                break
+            succs = successors(program, cfg)
             if collect_edges:
-                edges[key].append((tr.tid, tr.component, tr.action, tkey))
-            if tkey not in configs:
-                if len(configs) >= max_states:
-                    truncated = True
-                    continue
-                configs[tkey] = tr.target
-                if track_parents:
-                    parents[tkey] = (key, tr.tid, tr.component, tr.action)
-                frontier.push(tkey, tr.target)
-        if truncated:
-            # Bail out promptly: the cap bounds work done, not just
-            # states recorded.  Counts are lower bounds from here on.
-            break
+                edges[key] = []
+            if not succs:
+                if cfg.is_terminal():
+                    terminals.append(cfg)
+                else:
+                    stuck.append(cfg)
+                continue
+            for tr in succs:
+                edge_count += 1
+                tkey = keyf(tr.target)
+                if collect_edges:
+                    edges[key].append((tr.tid, tr.component, tr.action, tkey))
+                if tkey not in configs:
+                    if len(configs) >= max_states:
+                        truncated = True
+                        continue
+                    configs[tkey] = tr.target
+                    if track_parents:
+                        parents[tkey] = (key, tr.tid, tr.component, tr.action)
+                    frontier.push(tkey, tr.target)
+            if truncated:
+                # Bail out promptly: the cap bounds work done, not just
+                # states recorded.  Counts are lower bounds from here on.
+                break
 
+    elapsed = time.perf_counter() - start
+    if metrics is not None:
+        metrics.inc("explore.states", len(configs))
+        metrics.inc("explore.edges", edge_count)
+        metrics.add_time("explore.elapsed", elapsed)
+        metrics.gauge_max("explore.frontier_peak", frontier_peak)
+    if progress is not None:
+        progress.finish()
     return ExploreResult(
         program=program,
         initial=init,
@@ -200,10 +232,11 @@ def explore_sequential(
         stuck=stuck,
         edge_count=edge_count,
         truncated=truncated,
-        elapsed=time.perf_counter() - start,
+        elapsed=elapsed,
         edges=edges,
         stopped=stopped,
         parents=parents,
+        metrics=metrics.snapshot() if metrics is not None else None,
     )
 
 
@@ -263,6 +296,25 @@ class ExplorationEngine:
         performance — except that only ``"rounds"`` guarantees
         shortest recorded parent edges, which is why
         :meth:`find_witness` pins it.  Ignored when ``workers == 1``.
+    metrics:
+        Optional :class:`repro.obs.metrics.Metrics` sink.  When set (or
+        when ``trace`` is), every exploration collects the engine
+        counter schema into a fresh per-run registry — merged across
+        worker fragments by the sharded backends — whose snapshot lands
+        on ``ExploreResult.metrics``; the per-run registry is then
+        folded into this engine-level sink, which accumulates across
+        explorations (plus the ``cache.hits``/``cache.misses`` outcomes
+        of :meth:`run`).  ``None`` (default) keeps telemetry off the
+        hot paths entirely.
+    trace:
+        Optional :class:`repro.obs.trace.TraceWriter`.  When set, the
+        engine emits ``explore.start``/``explore.finish`` span events,
+        a ``metrics.sample`` per exploration and ``explore.cached`` for
+        cache-served :meth:`run` calls (backends add their own
+        ``explore.round``/``explore.drain`` events).
+    progress:
+        Optional :class:`repro.obs.progress.Progress` heartbeat,
+        updated while explorations run and erased when they finish.
     """
 
     def __init__(
@@ -273,6 +325,9 @@ class ExplorationEngine:
         max_states: int = DEFAULT_MAX_STATES,
         reduction: str = "off",
         backend: str = "pipeline",
+        metrics: Optional[Metrics] = None,
+        trace=None,
+        progress=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -289,6 +344,9 @@ class ExplorationEngine:
         self.max_states = max_states
         self.reduction = _check_reduction(reduction)
         self.backend = _check_backend(backend)
+        self.metrics = metrics
+        self.trace = trace
+        self.progress = progress
         #: Number of live (non-cached) explorations this engine ran.
         self.explorations = 0
 
@@ -339,10 +397,26 @@ class ExplorationEngine:
         chosen_backend = (
             self.backend if backend is None else _check_backend(backend)
         )
+        # A fresh per-run registry whenever any sink wants data; the
+        # engine-level sink accumulates across explorations while
+        # result.metrics stays per-run.
+        run_metrics = (
+            Metrics()
+            if (self.metrics is not None or self.trace is not None)
+            else None
+        )
+        if self.trace is not None:
+            self.trace.emit(
+                "explore.start",
+                backend="sequential" if self.workers == 1 else chosen_backend,
+                workers=self.workers,
+                reduction=mode,
+                max_states=cap,
+            )
         if self.workers > 1:
             from repro.engine.parallel import explore_parallel
 
-            return explore_parallel(
+            result = explore_parallel(
                 program,
                 workers=self.workers,
                 max_states=cap,
@@ -354,18 +428,42 @@ class ExplorationEngine:
                 keep_configs=keep_configs,
                 track_parents=track_parents,
                 backend=chosen_backend,
+                metrics=run_metrics,
+                progress=self.progress,
+                trace=self.trace,
             )
-        return explore_sequential(
-            program,
-            max_states=cap,
-            collect_edges=collect_edges,
-            canonicalise=canonicalise,
-            check_invariants=check_invariants,
-            on_config=on_config,
-            strategy=self.strategy,
-            reduction=mode,
-            track_parents=track_parents,
-        )
+        else:
+            result = explore_sequential(
+                program,
+                max_states=cap,
+                collect_edges=collect_edges,
+                canonicalise=canonicalise,
+                check_invariants=check_invariants,
+                on_config=on_config,
+                strategy=self.strategy,
+                reduction=mode,
+                track_parents=track_parents,
+                metrics=run_metrics,
+                progress=self.progress,
+            )
+        if self.trace is not None:
+            rate = (
+                run_metrics.states_per_sec() if run_metrics is not None else 0.0
+            )
+            self.trace.emit(
+                "explore.finish",
+                states=result.state_count,
+                edges=result.edge_count,
+                elapsed=result.elapsed,
+                truncated=result.truncated,
+                stopped=result.stopped,
+                states_per_sec=rate,
+            )
+            if run_metrics is not None:
+                self.trace.emit("metrics.sample", metrics=run_metrics.snapshot())
+        if self.metrics is not None and run_metrics is not None:
+            self.metrics.merge(run_metrics)
+        return result
 
     # -- counterexample witnesses -------------------------------------------
     def _witness_key_of(self, program: Program) -> Callable[["Config"], object]:
@@ -492,7 +590,13 @@ class ExplorationEngine:
             # worker count, which the key deliberately omits because
             # complete results don't) — never serve or store them.
             if hit is not None and not hit.truncated:
+                if self.metrics is not None:
+                    self.metrics.inc("cache.hits")
+                if self.trace is not None:
+                    self.trace.emit("explore.cached", key=str(key))
                 return hit
+            if self.metrics is not None:
+                self.metrics.inc("cache.misses")
         summary = summarise(
             self.explore(
                 program,

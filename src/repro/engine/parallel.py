@@ -62,6 +62,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 from repro.engine.core import _check_backend
 from repro.engine.fingerprint import stable_digest
 from repro.engine.result import ExploreResult
+from repro.obs.metrics import Metrics, collecting as _collecting
 
 if TYPE_CHECKING:
     from repro.lang.program import Program
@@ -79,6 +80,7 @@ def _init_worker(
     collect_edges: bool,
     reduction: str = "off",
     track_parents: bool = False,
+    metrics_on: bool = False,
 ) -> None:
     from repro.engine.core import key_function, successor_function
 
@@ -88,12 +90,14 @@ def _init_worker(
     _WORKER["check_invariants"] = check_invariants
     _WORKER["collect_edges"] = collect_edges
     _WORKER["track_parents"] = track_parents
+    _WORKER["metrics_on"] = metrics_on
 
 
-def _expand_shard(shard: List[bytes]) -> List[Tuple]:
+def _expand_shard(shard: List[bytes]) -> Tuple[List[Tuple], Optional[Dict]]:
     """Expand one frontier shard of pickled configurations.
 
-    Returns, positionally aligned with ``shard``, tuples
+    Returns ``(rows, metrics_fragment)``.  ``rows`` holds, positionally
+    aligned with ``shard``, tuples
     ``(is_terminal, edge_count, edge_labels, targets)`` where
     ``targets`` holds each distinct successor exactly once as
     ``(digest, pickled configuration)`` (placement nondeterminism
@@ -107,6 +111,12 @@ def _expand_shard(shard: List[bytes]) -> List[Tuple]:
     ``(tid, component, action)`` label of the transition that first
     produced it, so the master can record predecessor edges without
     unpickling anything.
+
+    ``metrics_fragment`` is None unless the pool was initialised with
+    ``metrics_on``: then a fresh per-call collector is installed around
+    the expansion (capturing the reduction layer's fusion/prune counts
+    and the shipped blob bytes) and its snapshot rides home with the
+    rows for the master to merge.
     """
     program: "Program" = _WORKER["program"]
     keyf = _WORKER["keyf"]
@@ -114,33 +124,37 @@ def _expand_shard(shard: List[bytes]) -> List[Tuple]:
     check_invariants: bool = _WORKER["check_invariants"]
     collect_edges: bool = _WORKER["collect_edges"]
     track_parents: bool = _WORKER["track_parents"]
+    m = Metrics() if _WORKER.get("metrics_on") else None
     out = []
-    for blob in shard:
-        cfg: "Config" = pickle.loads(blob)
-        if check_invariants:
-            cfg.gamma.check_invariants(program.tids)
-            cfg.beta.check_invariants(program.tids)
-        succs = successors(program, cfg)
-        targets: List[Tuple] = []
-        labels = [] if collect_edges else None
-        key_digests: Dict[Tuple, bytes] = {}  # dedup before digesting
-        for tr in succs:
-            key = keyf(tr.target)
-            digest = key_digests.get(key)
-            if digest is None:
-                digest = stable_digest(key)
-                key_digests[key] = digest
-                tblob = pickle.dumps(tr.target, pickle.HIGHEST_PROTOCOL)
-                if track_parents:
-                    targets.append(
-                        (digest, tblob, (tr.tid, tr.component, tr.action))
-                    )
-                else:
-                    targets.append((digest, tblob))
-            if collect_edges:
-                labels.append((tr.tid, tr.component, tr.action, digest))
-        out.append((cfg.is_terminal(), len(succs), labels, targets))
-    return out
+    with _collecting(m):
+        for blob in shard:
+            cfg: "Config" = pickle.loads(blob)
+            if check_invariants:
+                cfg.gamma.check_invariants(program.tids)
+                cfg.beta.check_invariants(program.tids)
+            succs = successors(program, cfg)
+            targets: List[Tuple] = []
+            labels = [] if collect_edges else None
+            key_digests: Dict[Tuple, bytes] = {}  # dedup before digesting
+            for tr in succs:
+                key = keyf(tr.target)
+                digest = key_digests.get(key)
+                if digest is None:
+                    digest = stable_digest(key)
+                    key_digests[key] = digest
+                    tblob = pickle.dumps(tr.target, pickle.HIGHEST_PROTOCOL)
+                    if m is not None:
+                        m.inc("rounds.blob_bytes", len(tblob))
+                    if track_parents:
+                        targets.append(
+                            (digest, tblob, (tr.tid, tr.component, tr.action))
+                        )
+                    else:
+                        targets.append((digest, tblob))
+                if collect_edges:
+                    labels.append((tr.tid, tr.component, tr.action, digest))
+            out.append((cfg.is_terminal(), len(succs), labels, targets))
+    return out, m.snapshot() if m is not None else None
 
 
 def _pool_context():
@@ -168,6 +182,9 @@ def explore_parallel(
     keep_configs: bool = True,
     track_parents: bool = False,
     backend: str = "pipeline",
+    metrics: Optional[Metrics] = None,
+    progress=None,
+    trace=None,
 ) -> ExploreResult:
     """Explore ``program`` with ``workers`` processes, sharded by
     canonical-key digest — dispatching to the requested ``backend``
@@ -207,6 +224,13 @@ def explore_parallel(
     pure predicates, the ``reachable``/``assert_invariant`` shape, work
     under both.  Under a spawn start method an unpicklable callback
     falls back to ``"rounds"`` transparently.
+
+    ``metrics``/``progress``/``trace`` are the observability sinks
+    (:mod:`repro.obs`), all defaulting to None (off).  Workers collect
+    into private registries shipped home inside their result payloads
+    and merged master-side, so the counter totals match the sequential
+    backend's exactly on full runs; ``trace`` gains one
+    ``explore.round`` event per BFS round under this backend.
     """
     from repro.engine.core import explore_sequential, key_function
 
@@ -221,6 +245,8 @@ def explore_parallel(
             on_config=on_config,
             reduction=reduction,
             track_parents=track_parents,
+            metrics=metrics,
+            progress=progress,
         )
     if backend == "pipeline":
         from repro.engine.pipeline import explore_pipeline, pipeline_usable
@@ -237,6 +263,9 @@ def explore_parallel(
                 reduction=reduction,
                 keep_configs=keep_configs,
                 track_parents=track_parents,
+                metrics=metrics,
+                progress=progress,
+                trace=trace,
             )
         # Spawn-only host and an unpicklable callback: the rounds
         # backend evaluates on_config master-side and needs neither.
@@ -250,11 +279,15 @@ def explore_parallel(
 
     start = time.perf_counter()
     keyf = key_function(program, canonicalise)
-    init = initial_config(program)
-    if reduction == "closure":
-        from repro.semantics.reduce import close_config
+    with _collecting(metrics):
+        # Collected master-side so the initial configuration's ε-closure
+        # fusions are counted exactly as the sequential backend counts
+        # them (workers only ever close successor suffixes).
+        init = initial_config(program)
+        if reduction == "closure":
+            from repro.semantics.reduce import close_config
 
-        init = close_config(program, init)
+            init = close_config(program, init)
     init_key = stable_digest(keyf(init))
     init_blob = pickle.dumps(init, pickle.HIGHEST_PROTOCOL)
 
@@ -287,20 +320,46 @@ def explore_parallel(
         initializer=_init_worker,
         initargs=(
             program, canonicalise, check_invariants, collect_edges,
-            reduction, track_parents,
+            reduction, track_parents, metrics is not None,
         ),
     )
+    round_no = 0
+    frontier_peak = len(frontier)
+    shard_tally = [0] * workers
     try:
         while frontier and not stopped and not truncated:
+            round_no += 1
+            if len(frontier) > frontier_peak:
+                frontier_peak = len(frontier)
+            if trace is not None:
+                trace.emit(
+                    "explore.round",
+                    round=round_no,
+                    frontier=len(frontier),
+                    states=len(visited),
+                )
             shards: List[List[Tuple[bytes, bytes]]] = [
                 [] for _ in range(workers)
             ]
             for digest, blob in frontier:
                 shards[_shard_of(digest, workers)].append((digest, blob))
-            occupied = [s for s in shards if s]
-            batches = pool.map(
-                _expand_shard, [[blob for _, blob in s] for s in occupied]
+            occupied = [(w, s) for w, s in enumerate(shards) if s]
+            results = pool.map(
+                _expand_shard, [[blob for _, blob in s] for _, s in occupied]
             )
+            batches = []
+            for (w, s), (rows, fragment) in zip(occupied, results):
+                batches.append(rows)
+                shard_tally[w] += len(s)
+                if metrics is not None:
+                    metrics.merge(fragment)
+                    metrics.inc(f"shard.{w}.states", len(s))
+            if progress is not None:
+                progress.update(
+                    len(visited),
+                    shards=[shard_tally[w] for w in range(workers)],
+                    force=True,
+                )
             frontier = []
             # The merge bails out of the whole batch as soon as stopped
             # or truncated flips: admitting the rest of the round's
@@ -308,7 +367,7 @@ def explore_parallel(
             # early stop would inflate `visited`/`edge_count` past the
             # states the run actually covers.  Counts on such runs are
             # lower bounds — the documented truncation contract.
-            for shard, batch in zip(occupied, batches):
+            for (_w, shard), batch in zip(occupied, batches):
                 for (digest, blob), row in zip(shard, batch):
                     is_terminal, n_edges, labels, targets = row
                     edge_count += n_edges
@@ -367,6 +426,14 @@ def explore_parallel(
             configs[init_key] = init
         state_total = len(visited)
 
+    elapsed = time.perf_counter() - start
+    if metrics is not None:
+        metrics.inc("explore.states", len(visited))
+        metrics.inc("explore.edges", edge_count)
+        metrics.add_time("explore.elapsed", elapsed)
+        metrics.gauge_max("explore.frontier_peak", frontier_peak)
+    if progress is not None:
+        progress.finish()
     return ExploreResult(
         program=program,
         initial=init,
@@ -376,9 +443,10 @@ def explore_parallel(
         stuck=[configs[d] for d in stuck_keys],
         edge_count=edge_count,
         truncated=truncated,
-        elapsed=time.perf_counter() - start,
+        elapsed=elapsed,
         edges=edges,
         stopped=stopped,
         state_total=state_total,
         parents=parents,
+        metrics=metrics.snapshot() if metrics is not None else None,
     )

@@ -74,6 +74,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.engine.fingerprint import stable_digest
 from repro.engine.result import ExploreResult
+from repro.obs.metrics import Metrics, activate, collecting as _collecting
 
 if TYPE_CHECKING:
     from repro.lang.program import Program
@@ -91,6 +92,12 @@ POLL_EVERY = 32
 #: Master receive timeout (seconds) between liveness checks on the
 #: worker processes — only reached when the pipeline is wedged.
 _MASTER_POLL = 2.0
+
+#: Expansions between ``stat`` progress reports to the master.  Only
+#: sent when a live progress reporter is attached (``report_stats``),
+#: so the steady-state message traffic is untouched when telemetry is
+#: off or the output is not a terminal.
+_STAT_EVERY = 1024
 
 
 def pipeline_usable(on_config) -> bool:
@@ -135,6 +142,8 @@ def _worker_main(
     keep_configs: bool,
     on_config: Optional[Callable[["Config"], Optional[bool]]],
     budget: int,
+    collect_metrics: bool = False,
+    report_stats: bool = False,
 ) -> None:
     """One shard-owning worker: the whole exploration loop for shard
     ``wid``, from first admission to result fragment.
@@ -150,8 +159,15 @@ def _worker_main(
       (opaque bytes to the master);
       ``("idle", wid, consumed)`` — local frontier drained, buffers
       flushed, ``consumed`` inbox batches processed so far;
+      ``("stat", wid, states)`` — periodic progress sample, only under
+      ``report_stats``;
       ``("hit", wid)`` / ``("trunc", wid)`` — request a stop broadcast;
       ``("done", wid, fragment)`` / ``("error", wid, traceback)``.
+
+    ``collect_metrics`` activates a private :class:`Metrics` for the
+    worker's lifetime (capturing the reduction layer's counters plus
+    shard/batch/codec-byte counts); its snapshot ships inside the
+    ``done`` fragment under ``"metrics"`` for the master to merge.
     """
     try:
         import gc
@@ -172,6 +188,13 @@ def _worker_main(
         keyf = key_function(program, canonicalise)
         successors = successor_function(reduction)
 
+        # Worker processes own their collector for their whole lifetime
+        # — activated once, never restored (the process exits after the
+        # fragment ships).
+        m = Metrics() if collect_metrics else None
+        if m is not None:
+            activate(m)
+
         visited: set = set()
         frontier: deque = deque()
         configs: Dict[bytes, "Config"] = {}  # owned states (or sinks only)
@@ -186,6 +209,7 @@ def _worker_main(
         halted = False  # on_config hit: stop expanding, await finish
         finishing = False
         consumed = 0
+        stat_countdown = _STAT_EVERY
         forwarded: set = set()  # remote digests already shipped once
         bufs: Dict[int, List] = {d: [] for d in range(workers) if d != wid}
 
@@ -220,9 +244,11 @@ def _worker_main(
                 finishing = True
 
         def flush(dst: int, buf: List) -> None:
-            out.put(
-                ("batch", dst, pickle.dumps(buf, pickle.HIGHEST_PROTOCOL))
-            )
+            blob = pickle.dumps(buf, pickle.HIGHEST_PROTOCOL)
+            if m is not None:
+                m.inc("pipeline.batches")
+                m.inc("pipeline.blob_bytes", len(blob))
+            out.put(("batch", dst, blob))
             bufs[dst] = []
 
         def flush_all() -> None:
@@ -245,6 +271,15 @@ def _worker_main(
                 out.put(("idle", wid, consumed))
                 handle(inbox.get())
                 continue
+            if m is not None:
+                # Sampled once per burst: the high-water mark of this
+                # shard's local queue (merged by max across shards).
+                m.gauge_max("explore.frontier_peak", len(frontier))
+            if report_stats:
+                stat_countdown -= POLL_EVERY
+                if stat_countdown <= 0:
+                    stat_countdown = _STAT_EVERY
+                    out.put(("stat", wid, len(visited)))
             for _ in range(POLL_EVERY):
                 if not frontier or halted or truncated:
                     break
@@ -306,6 +341,13 @@ def _worker_main(
                         if len(buf) >= FLUSH_TARGETS:
                             flush(dst, buf)
 
+        if m is not None:
+            # The fragment carries this shard's share of the global
+            # counter schema; the master merges fragments, so it must
+            # not add states/edges again itself.
+            m.inc("explore.states", len(visited))
+            m.inc("explore.edges", edge_count)
+            m.inc(f"shard.{wid}.states", len(visited))
         out.put(
             (
                 "done",
@@ -319,6 +361,7 @@ def _worker_main(
                     "stuck_keys": stuck_keys,
                     "parents": parents,
                     "edges": edges,
+                    "metrics": m.snapshot() if m is not None else None,
                 },
             )
         )
@@ -345,11 +388,21 @@ def explore_pipeline(
     reduction: str = "off",
     keep_configs: bool = True,
     track_parents: bool = False,
+    metrics: Optional[Metrics] = None,
+    progress=None,
+    trace=None,
 ) -> ExploreResult:
     """Explore ``program`` with ``workers`` persistent shard-owning
     processes (see the module docstring).  Reached via
     :func:`repro.engine.parallel.explore_parallel` with
     ``backend="pipeline"``; ``workers >= 2`` by construction.
+
+    ``metrics``/``progress``/``trace`` are the observability sinks
+    (:mod:`repro.obs`), all defaulting to None (off).  Worker metric
+    fragments ride home inside the ``done`` messages and merge
+    master-side; progress is fed by the workers' opt-in ``stat``
+    samples; ``trace`` gains one ``explore.drain`` event per worker
+    idle report.
     """
     from repro.engine.core import key_function
     from repro.engine.parallel import _pool_context, _shard_of
@@ -362,11 +415,14 @@ def explore_pipeline(
 
     start = time.perf_counter()
     keyf = key_function(program, canonicalise)
-    init = initial_config(program)
-    if reduction == "closure":
-        from repro.semantics.reduce import close_config
+    with _collecting(metrics):
+        # Master-side, so the initial configuration's ε-closure fusions
+        # are counted exactly once, as in the sequential backend.
+        init = initial_config(program)
+        if reduction == "closure":
+            from repro.semantics.reduce import close_config
 
-        init = close_config(program, init)
+            init = close_config(program, init)
     init_key = stable_digest(keyf(init))
 
     ctx = _pool_context()
@@ -380,6 +436,8 @@ def explore_pipeline(
                 w, workers, inboxes[w], out, program, canonicalise,
                 check_invariants, collect_edges, reduction, track_parents,
                 keep_configs, on_config, budgets[w],
+                metrics is not None,
+                progress is not None and progress.enabled,
             ),
             daemon=True,
         )
@@ -402,6 +460,7 @@ def explore_pipeline(
     truncated = False
     finishing = False
     fragments: Dict[int, dict] = {}
+    stat_tally: Dict[int, int] = {}  # latest per-worker stat samples
 
     def broadcast_finish() -> None:
         for q in inboxes:
@@ -434,9 +493,21 @@ def explore_pipeline(
                 wid = msg[1]
                 idle[wid] = True
                 consumed[wid] = msg[2]
+                if trace is not None:
+                    trace.emit("explore.drain", worker=wid, consumed=msg[2])
                 if not finishing and all(idle) and consumed == sent:
                     finishing = True
                     broadcast_finish()
+            elif kind == "stat":
+                stat_tally[msg[1]] = msg[2]
+                if progress is not None:
+                    progress.update(
+                        sum(stat_tally.values()),
+                        shards=[
+                            stat_tally.get(w, 0) for w in range(workers)
+                        ],
+                        force=True,
+                    )
             elif kind == "hit":
                 stopped = True
                 if not finishing:
@@ -485,6 +556,8 @@ def explore_pipeline(
         visited_total += frag["visited"]
         edge_count += frag["edge_count"]
         truncated = truncated or frag["truncated"]
+        if metrics is not None:
+            metrics.merge(frag.get("metrics"))
         configs.update(frag["configs"])
         terminal_keys.extend(frag["terminal_keys"])
         stuck_keys.extend(frag["stuck_keys"])
@@ -496,6 +569,11 @@ def explore_pipeline(
         # Keep the original initial object (`initial is configs[...]`).
         configs[init_key] = init
 
+    elapsed = time.perf_counter() - start
+    if metrics is not None:
+        metrics.add_time("explore.elapsed", elapsed)
+    if progress is not None:
+        progress.finish()
     return ExploreResult(
         program=program,
         initial=init,
@@ -505,9 +583,10 @@ def explore_pipeline(
         stuck=[configs[d] for d in stuck_keys],
         edge_count=edge_count,
         truncated=truncated,
-        elapsed=time.perf_counter() - start,
+        elapsed=elapsed,
         edges=edges,
         stopped=stopped,
         state_total=visited_total,
         parents=parents,
+        metrics=metrics.snapshot() if metrics is not None else None,
     )

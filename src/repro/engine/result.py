@@ -57,6 +57,12 @@ class ExploreResult:
     #: shortest counterexamples from this graph without re-exploring
     #: (and without a stored configuration per state).
     parents: Optional[Dict[Tuple, Optional[Tuple]]] = None
+    #: Telemetry snapshot (``repro.obs.metrics.Metrics.snapshot()``:
+    #: counters/timers/gauges) when the exploration ran with a metrics
+    #: sink attached; ``None`` — the default — means telemetry was off.
+    #: Deliberately absent from :class:`ExploreSummary`: cached entries
+    #: describe the program, not the run that produced them.
+    metrics: Optional[Dict[str, Dict]] = None
 
     @property
     def state_count(self) -> int:

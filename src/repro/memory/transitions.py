@@ -28,6 +28,7 @@ from repro.memory.actions import (
 )
 from repro.memory.state import ComponentState
 from repro.memory.views import merge_views, view_union
+from repro.obs import metrics as _metrics
 
 #: One memory step: (action, op read-from or placed-after, γ', β').
 MemStep = Tuple[Action, Op, ComponentState, ComponentState]
@@ -82,6 +83,8 @@ def read_steps(
             if seen_values is None:
                 seen_values = {n}
             elif n in seen_values:
+                if _metrics._ACTIVE is not None:
+                    _metrics._ACTIVE.inc("reduce.covering_pruned")
                 continue
             else:
                 seen_values.add(n)

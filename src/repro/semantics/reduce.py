@@ -82,6 +82,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.lang.program import Program
+from repro.obs import metrics as _metrics
 from repro.semantics.config import Config
 from repro.semantics.step import Transition, silent_step, successors
 
@@ -141,6 +142,8 @@ def close_thread(cfg: Config, tid: str) -> Config:
         fused += 1
     if not changed:
         return cfg
+    if _metrics._ACTIVE is not None:
+        _metrics._ACTIVE.inc("reduce.epsilon_fused", fused)
     return Config(
         cmds=cfg.cmds.set(tid, cmd),
         locals=cfg.locals.set(tid, ls),

@@ -134,3 +134,127 @@ class TestWitnessCommand:
     def test_missing_test_is_usage_error(self, capsys):
         assert main(["repro", "witness"]) == 2
         assert "usage" in capsys.readouterr().out
+
+
+class TestTelemetryOutput:
+    def test_litmus_prints_metrics_summary(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert main(["repro", "litmus"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "states/sec" in out
+        assert "ε-fused" in out and "covering-read pruned" in out
+
+    def test_litmus_warm_run_prints_structured_cache_stats(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["repro", "litmus"]) == 0
+        capsys.readouterr()
+        assert main(["repro", "litmus"]) == 0  # warm: zero explorations
+        out = capsys.readouterr().out
+        assert "engine: 0 explorations" in out
+        assert "cache 30 hits / 0 misses" in out  # on the telemetry line
+        assert "30 hits, 0 misses" in out  # the structured cache line
+        assert "entries on disk" in out
+
+    def test_quiet_suppresses_telemetry(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert main(["repro", "litmus", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" not in out
+        assert "MP-relaxed" in out  # the verdict table stays
+
+    def test_witness_prints_telemetry(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert main(["repro", "witness", "MP-relaxed"]) == 0
+        assert "telemetry:" in capsys.readouterr().out
+
+    def test_verbose_flag_parses(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert main(["repro", "litmus", "-v"]) == 0
+        assert "ALL CHECKS PASS" in capsys.readouterr().out
+
+    def test_figures_rejects_quiet(self, capsys):
+        assert main(["repro", "figures", "--quiet"]) == 2
+        assert "not supported" in capsys.readouterr().out
+
+
+class TestTraceFlag:
+    def _validate(self, path):
+        import json
+
+        from repro.obs import validate_event
+
+        events = [
+            validate_event(json.loads(line))
+            for line in path.read_text().splitlines()
+        ]
+        assert events
+        return events
+
+    def test_litmus_trace_stream_is_schema_valid(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        trace = tmp_path / "t.jsonl"
+        assert main(["repro", "litmus", "--trace", str(trace)]) == 0
+        events = self._validate(trace)
+        kinds = [e["ev"] for e in events]
+        assert kinds[0] == "litmus.start"
+        assert kinds[-1] == "litmus.finish"
+        assert kinds.count("explore.start") == kinds.count("explore.finish")
+        assert kinds.count("explore.start") == 30  # one span per test
+        finishes = [e for e in events if e["ev"] == "explore.finish"]
+        table = capsys.readouterr().out
+        # Spans and the printed table report the same state counts.
+        assert sum(e["states"] for e in finishes) > 0
+        assert "telemetry:" in table
+
+    def test_trace_via_environment(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        trace = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(trace))
+        assert main(["repro", "witness", "MP-relaxed"]) == 0
+        kinds = [e["ev"] for e in self._validate(trace)]
+        assert "explore.start" in kinds and "explore.finish" in kinds
+
+    def test_batch_trace_and_report_blocks(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        trace = tmp_path / "b.jsonl"
+        report = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "repro", "batch", "--jobs", "litmus,figures",
+                    "--json", str(report), "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        kinds = [e["ev"] for e in self._validate(trace)]
+        assert kinds[0] == "batch.start" and kinds[-1] == "batch.finish"
+        assert kinds.count("batch.job.start") == 2
+        assert kinds.count("batch.job.finish") == 2
+        data = json.loads(report.read_text())
+        # Satellite: the meta block makes archived reports
+        # self-describing.
+        meta = data["meta"]
+        assert meta["schema"] == 2
+        assert meta["python"] and meta["platform"]
+        assert meta["cpu_count"] >= 1
+        assert meta["workers"] == 1
+        assert meta["reduction"] == "closure"
+        # The litmus job carries telemetry; the aggregate mirrors it.
+        litmus_job = next(j for j in data["jobs"] if j["name"] == "litmus")
+        counters = litmus_job["metrics"]["counters"]
+        assert counters["explore.states"] > 0
+        assert data["metrics"]["counters"]["explore.states"] == (
+            counters["explore.states"]
+        )
+        figures_job = next(j for j in data["jobs"] if j["name"] == "figures")
+        assert figures_job["metrics"] is None
