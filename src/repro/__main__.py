@@ -26,9 +26,13 @@ Options:
   with);
 * ``--strategy S``  — frontier strategy ``bfs`` | ``dfs`` |
   ``swarm[:seed]`` (sequential engine only);
-* ``--reduction R`` — state-space reduction ``closure`` (default:
-  ε-closure + covering-read prune, same verdicts from far fewer stored
-  states) | ``off`` (the unreduced semantics) for ``litmus``/``batch``;
+* ``--reduction R`` — state-space reduction policy (any name in the
+  registry :data:`repro.semantics.reduce.REDUCTIONS`): ``closure``
+  (default: ε-closure + covering-read prune, same verdicts from far
+  fewer stored states) | ``dpor`` (sleep-set + persistent-set partial
+  order reduction layered on ``closure``; sequential or
+  ``--backend rounds``) | ``off`` (the unreduced semantics) for
+  ``litmus``/``batch``;
 * ``--no-cache``    — disable the persistent result cache;
 * ``--jobs a,b,c``  — subset of batch jobs (default: all);
 * ``--json PATH``   — write the batch report to PATH;

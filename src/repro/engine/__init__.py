@@ -40,7 +40,6 @@ from repro.engine.cache import ResultCache, cache_enabled_by_env
 from repro.engine.core import (
     BACKENDS,
     DEFAULT_MAX_STATES,
-    REDUCTIONS,
     ExplorationEngine,
     explore_sequential,
 )
@@ -87,6 +86,18 @@ __all__ = [
     "run_job",
     "summarise",
 ]
+
+
+def __getattr__(name: str):
+    # The policy tuple lives in the reduction registry; resolving it
+    # lazily keeps the engine package import-time independent of
+    # repro.semantics (see the NOTE in repro.engine.core).
+    if name == "REDUCTIONS":
+        from repro.semantics.reduce import REDUCTIONS
+
+        return REDUCTIONS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 def default_engine() -> ExplorationEngine:
     """A CLI-defaults engine, configured from the environment.

@@ -156,11 +156,22 @@ REPORT_SCHEMA = 2
 
 
 def batch_meta(
-    workers: int, use_cache: bool, reduction: str
+    workers: int,
+    use_cache: bool,
+    reduction: str,
+    jobs: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """The self-describing ``meta`` block of a batch JSON report:
     enough provenance that an archived report answers "what ran this,
-    where, with which engine settings" without the shell history."""
+    where, with which engine settings" without the shell history.
+
+    ``jobs`` records the *effective* per-job reduction policy: the
+    batch-level ``reduction`` applies to the litmus battery only, while
+    the figure checks and refinement jobs always explore unreduced
+    (see :func:`run_job`) — so an archived report states which policy
+    produced each job's numbers instead of leaving the reader to infer
+    the exception.
+    """
     return {
         "schema": REPORT_SCHEMA,
         "python": platform.python_version(),
@@ -170,6 +181,12 @@ def batch_meta(
         "workers": workers,
         "use_cache": use_cache,
         "reduction": reduction,
+        "jobs": {
+            name: {
+                "reduction": reduction if name == "litmus" else "off",
+            }
+            for name in (jobs if jobs is not None else JOB_NAMES)
+        },
         # Engine settings the jobs inherit from the environment.
         "engine_workers": int(os.environ.get("REPRO_WORKERS", "1") or "1"),
         "engine_backend": os.environ.get("REPRO_BACKEND", "pipeline")
@@ -383,7 +400,7 @@ def run_batch(
         jobs=results,
         workers=workers,
         elapsed=time.perf_counter() - start,
-        meta=batch_meta(workers, use_cache, reduction),
+        meta=batch_meta(workers, use_cache, reduction, names),
     )
     if trace is not None:
         trace.emit("batch.finish", ok=report.ok, elapsed=report.elapsed)

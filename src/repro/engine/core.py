@@ -43,10 +43,19 @@ if TYPE_CHECKING:
 #: Default safety cap on explored configurations.
 DEFAULT_MAX_STATES = 500_000
 
-#: Recognised reduction policies (mirrors repro.semantics.reduce, which
-#: cannot be imported at module level — see the NOTE above; equality of
-#: the two tuples is test-asserted).
-REDUCTIONS = ("off", "closure")
+
+def __getattr__(name: str):
+    # ``REDUCTIONS`` lives in the policy registry
+    # (repro.semantics.reduce), which cannot be imported at module
+    # level — see the NOTE above.  PEP 562 keeps the historical
+    # ``repro.engine.core.REDUCTIONS`` surface without restating the
+    # policy list here.
+    if name == "REDUCTIONS":
+        from repro.semantics.reduce import REDUCTIONS
+
+        return REDUCTIONS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 #: Recognised sharded-backend names (defined here — the import-time
 #: root of the engine package — and used by the parallel module's
@@ -67,27 +76,21 @@ def _check_backend(backend: str) -> str:
 
 
 def _check_reduction(reduction: str) -> str:
-    """Validate a policy spec via the reduction layer's own validator,
-    so the accepted set cannot drift from the semantics side."""
+    """Validate a policy spec via the registry's own validator, so the
+    accepted set cannot drift from the semantics side (the error
+    message lists the registered policies)."""
     from repro.semantics.reduce import validate_reduction
 
     return validate_reduction(reduction)
 
 
 def successor_function(reduction: str):
-    """The successor generator used by every engine backend.
+    """The successor generator used by every engine backend — the
+    registered strategy's macro-step relation
+    (:data:`repro.semantics.reduce.ReductionStrategy.successors`)."""
+    from repro.semantics.reduce import get_strategy
 
-    ``"off"`` is the plain ``=⇒`` relation; ``"closure"`` is the
-    reduction layer's macro-step relation (ε-closure + covering-read
-    prune, :mod:`repro.semantics.reduce`).
-    """
-    if _check_reduction(reduction) == "closure":
-        from repro.semantics.reduce import reduced_successors
-
-        return reduced_successors
-    from repro.semantics.step import successors
-
-    return successors
+    return get_strategy(reduction).successors
 
 
 def key_function(
@@ -126,6 +129,11 @@ def explore_sequential(
     configurations are fused away — they are not stored, counted, or
     passed to ``on_config``/``check_invariants`` — and edges are
     macro-edges labelled with their visible action.
+    ``reduction="dpor"`` additionally prunes interleavings of
+    independent visible steps (:mod:`repro.semantics.dpor`): sleep sets
+    ride the frontier entries, states may be re-expanded when a
+    rediscovery shrinks their sleep set, and terminal/stuck outcomes
+    (not intermediate state counts) are what is preserved.
 
     ``track_parents`` records each state's first-discovery edge
     (parent key + ``(tid, component, action)`` label, no extra
@@ -145,15 +153,20 @@ def explore_sequential(
     expanded configuration.
     """
     from repro.semantics.config import initial_config
+    from repro.semantics.reduce import get_strategy
 
-    successors = successor_function(reduction)
+    strat = get_strategy(reduction)
+    if strat.requires_canonical and not canonicalise:
+        raise ValueError(
+            f"reduction {reduction!r} is only sound under canonical state "
+            "keys; canonicalise=False is not supported"
+        )
+    successors = strat.successors
+    sleep_expand = strat.sleep_expand
     start = time.perf_counter()
     with _collecting(metrics):
         init = initial_config(program)
-        if reduction == "closure":
-            from repro.semantics.reduce import close_config
-
-            init = close_config(program, init)
+        init = strat.normalise_initial(program, init)
         keyf = key_function(program, canonicalise)
 
         init_key = keyf(init)
@@ -172,6 +185,19 @@ def explore_sequential(
         instrumented = metrics is not None or progress is not None
         frontier_peak = 0
 
+        # Sleep-set bookkeeping (only when the strategy threads sleep
+        # sets, e.g. "dpor").  ``sleep_of`` holds the current sleep set
+        # per state key; a rediscovery with a smaller intersection
+        # re-pushes the state for re-expansion (sets shrink strictly,
+        # so the loop terminates).  ``queued`` suppresses duplicate
+        # frontier entries; ``sunk`` suppresses re-pushing (and
+        # double-counting) successor-free states, which are sinks under
+        # any sleep set.
+        _EMPTY_SLEEP: frozenset = frozenset()
+        sleep_of: Dict[Tuple, frozenset] = {}
+        queued: set = set()
+        sunk: set = set()
+
         frontier = make_frontier(strategy)
         frontier.push(init_key, init)
         while frontier:
@@ -188,16 +214,29 @@ def explore_sequential(
             if on_config is not None and on_config(cfg):
                 stopped = True
                 break
-            succs = successors(program, cfg)
+            if sleep_expand is None:
+                succs = successors(program, cfg)
+                child_sleeps = None
+            else:
+                queued.discard(key)
+                expansion = sleep_expand(
+                    program, cfg, sleep_of.get(key, _EMPTY_SLEEP)
+                )
+                succs = [tr for tr, _child in expansion]
+                child_sleeps = [child for _tr, child in expansion]
             if collect_edges:
                 edges[key] = []
             if not succs:
+                if sleep_expand is not None:
+                    if key in sunk:
+                        continue
+                    sunk.add(key)
                 if cfg.is_terminal():
                     terminals.append(cfg)
                 else:
                     stuck.append(cfg)
                 continue
-            for tr in succs:
+            for i, tr in enumerate(succs):
                 edge_count += 1
                 tkey = keyf(tr.target)
                 if collect_edges:
@@ -207,9 +246,25 @@ def explore_sequential(
                         truncated = True
                         continue
                     configs[tkey] = tr.target
+                    if child_sleeps is not None:
+                        sleep_of[tkey] = child_sleeps[i]
+                        queued.add(tkey)
                     if track_parents:
                         parents[tkey] = (key, tr.tid, tr.component, tr.action)
                     frontier.push(tkey, tr.target)
+                elif child_sleeps is not None:
+                    # Rediscovery: the state is only safely prunable by
+                    # what *every* discovery path has already covered —
+                    # intersect, and re-expand if that strictly shrank
+                    # the stored sleep set.
+                    stored = sleep_of.get(tkey, _EMPTY_SLEEP)
+                    if stored:
+                        inter = stored & child_sleeps[i]
+                        if inter != stored:
+                            sleep_of[tkey] = inter
+                            if tkey not in queued and tkey not in sunk:
+                                queued.add(tkey)
+                                frontier.push(tkey, configs[tkey])
             if truncated:
                 # Bail out promptly: the cap bounds work done, not just
                 # states recorded.  Counts are lower bounds from here on.
@@ -279,13 +334,17 @@ class ExplorationEngine:
     max_states:
         Default safety cap, overridable per call.
     reduction:
-        State-space reduction policy — ``"off"`` (default, the
-        historical semantics) or ``"closure"`` (ε-closure +
-        covering-read prune, :mod:`repro.semantics.reduce`), applied by
-        both the sequential and the sharded backend and overridable per
-        call.  The policy is part of the persistent-cache key: reduced
-        and unreduced explorations are cached separately because they
-        store different configuration sets.
+        State-space reduction policy, one of
+        :data:`repro.semantics.reduce.REDUCTIONS` — ``"off"`` (default,
+        the historical semantics), ``"closure"`` (ε-closure +
+        covering-read prune, :mod:`repro.semantics.reduce`) or
+        ``"dpor"`` (sleep-set + persistent-set partial-order reduction
+        on top of the closure, :mod:`repro.semantics.dpor`; sequential
+        and ``"rounds"`` only, and requires canonical keys) — applied
+        by every backend and overridable per call.  The policy's
+        fingerprint token is part of the persistent-cache key:
+        explorations under different policies are cached separately
+        because they store different configuration sets.
     backend:
         Sharded backend for ``workers > 1`` — ``"pipeline"`` (default:
         persistent shard-owned workers, streaming frontier,

@@ -215,17 +215,23 @@ def cache_key(
     """The persistent-cache key for one exploration request.
 
     Exploration parameters that affect the result — the state cap, the
-    canonicalisation mode, and the reduction policy (ε-closure changes
+    canonicalisation mode, and the reduction policy (reductions change
     which configurations exist, so state/edge counts differ between
     policies) — are part of the key, as is the semantics version salt.
+    The policy enters through its registered *fingerprint token*
+    (:data:`repro.semantics.reduce.ReductionStrategy.fingerprint_token`),
+    so one policy's cached verdicts can be invalidated by bumping its
+    token without touching the others' entries.
     """
+    from repro.semantics.reduce import get_strategy
+
     payload = repr(
         (
             SEMANTICS_VERSION,
             program_fingerprint(program),
             int(max_states),
             bool(canonicalise),
-            str(reduction),
+            get_strategy(reduction).fingerprint_token,
         )
     ).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()

@@ -82,21 +82,29 @@ def _init_worker(
     track_parents: bool = False,
     metrics_on: bool = False,
 ) -> None:
-    from repro.engine.core import key_function, successor_function
+    from repro.engine.core import key_function
+    from repro.semantics.reduce import get_strategy
 
+    strat = get_strategy(reduction)
     _WORKER["program"] = program
     _WORKER["keyf"] = key_function(program, canonicalise)
-    _WORKER["succf"] = successor_function(reduction)
+    _WORKER["succf"] = strat.successors
+    # Sleep-set policies ("dpor") expand through the strategy's
+    # sleep_expand hook; the shard items then carry a sleep set per
+    # configuration and every emitted target carries its child sleep.
+    _WORKER["sleepf"] = strat.sleep_expand
     _WORKER["check_invariants"] = check_invariants
     _WORKER["collect_edges"] = collect_edges
     _WORKER["track_parents"] = track_parents
     _WORKER["metrics_on"] = metrics_on
 
 
-def _expand_shard(shard: List[bytes]) -> Tuple[List[Tuple], Optional[Dict]]:
+def _expand_shard(shard: List) -> Tuple[List[Tuple], Optional[Dict]]:
     """Expand one frontier shard of pickled configurations.
 
-    Returns ``(rows, metrics_fragment)``.  ``rows`` holds, positionally
+    Shard items are pickled configurations — or, under a sleep-set
+    policy, ``(blob, sleep frozenset)`` pairs.  Returns
+    ``(rows, metrics_fragment)``.  ``rows`` holds, positionally
     aligned with ``shard``, tuples
     ``(is_terminal, edge_count, edge_labels, targets)`` where
     ``targets`` holds each distinct successor exactly once as
@@ -110,7 +118,10 @@ def _expand_shard(shard: List[bytes]) -> Tuple[List[Tuple], Optional[Dict]]:
     Under parent tracking each target additionally carries the
     ``(tid, component, action)`` label of the transition that first
     produced it, so the master can record predecessor edges without
-    unpickling anything.
+    unpickling anything.  Under a sleep-set policy each target
+    additionally carries (last) its child sleep set — intersected over
+    siblings when several transitions reach the same canonical state,
+    since only what *every* arriving edge justifies is safely prunable.
 
     ``metrics_fragment`` is None unless the pool was initialised with
     ``metrics_on``: then a fresh per-call collector is installed around
@@ -121,38 +132,50 @@ def _expand_shard(shard: List[bytes]) -> Tuple[List[Tuple], Optional[Dict]]:
     program: "Program" = _WORKER["program"]
     keyf = _WORKER["keyf"]
     successors = _WORKER["succf"]
+    sleepf = _WORKER.get("sleepf")
     check_invariants: bool = _WORKER["check_invariants"]
     collect_edges: bool = _WORKER["collect_edges"]
     track_parents: bool = _WORKER["track_parents"]
     m = Metrics() if _WORKER.get("metrics_on") else None
     out = []
     with _collecting(m):
-        for blob in shard:
+        for item in shard:
+            if sleepf is None:
+                blob, pairs = item, None
+            else:
+                blob, sleep = item
             cfg: "Config" = pickle.loads(blob)
             if check_invariants:
                 cfg.gamma.check_invariants(program.tids)
                 cfg.beta.check_invariants(program.tids)
-            succs = successors(program, cfg)
-            targets: List[Tuple] = []
+            if sleepf is None:
+                succs = successors(program, cfg)
+            else:
+                pairs = sleepf(program, cfg, sleep)
+                succs = [tr for tr, _child in pairs]
+            entries: Dict[Tuple, list] = {}  # dedup before digesting
             labels = [] if collect_edges else None
-            key_digests: Dict[Tuple, bytes] = {}  # dedup before digesting
-            for tr in succs:
+            for i, tr in enumerate(succs):
                 key = keyf(tr.target)
-                digest = key_digests.get(key)
-                if digest is None:
+                entry = entries.get(key)
+                if entry is None:
                     digest = stable_digest(key)
-                    key_digests[key] = digest
                     tblob = pickle.dumps(tr.target, pickle.HIGHEST_PROTOCOL)
                     if m is not None:
                         m.inc("rounds.blob_bytes", len(tblob))
+                    entry = [digest, tblob]
                     if track_parents:
-                        targets.append(
-                            (digest, tblob, (tr.tid, tr.component, tr.action))
-                        )
-                    else:
-                        targets.append((digest, tblob))
+                        entry.append((tr.tid, tr.component, tr.action))
+                    if pairs is not None:
+                        entry.append(pairs[i][1])
+                    entries[key] = entry
+                else:
+                    digest = entry[0]
+                    if pairs is not None:
+                        entry[-1] = entry[-1] & pairs[i][1]
                 if collect_edges:
                     labels.append((tr.tid, tr.component, tr.action, digest))
+            targets = [tuple(e) for e in entries.values()]
             out.append((cfg.is_terminal(), len(succs), labels, targets))
     return out, m.snapshot() if m is not None else None
 
@@ -195,6 +218,17 @@ def explore_parallel(
     layer's macro-steps (the master additionally ε-closes the initial
     configuration), with counts and outcomes matching the sequential
     backend under the same policy.
+
+    ``reduction="dpor"`` is supported on the ``"rounds"`` backend only:
+    per-state sleep sets ride the shard payloads out to the workers and
+    the child sleep sets ride the expansion rows back, with the master
+    intersecting sleeps on rediscovery and re-queueing states whose
+    sleep set strictly shrank.  Terminal valuations and verdicts match
+    the sequential backend; *state counts may differ slightly* between
+    worker counts because sleep sets depend on discovery order.  The
+    pipeline backend rejects ``"dpor"`` with a ``ValueError`` — its
+    streaming shards never re-visit a state, so the sleep-shrink
+    re-expansion protocol has no sound home there.
 
     ``keep_configs=False`` is the summary path: per-state payloads are
     dropped once expanded (the visited set needs only digests), and
@@ -248,7 +282,23 @@ def explore_parallel(
             metrics=metrics,
             progress=progress,
         )
+    from repro.semantics.reduce import get_strategy
+
+    strat = get_strategy(reduction)
+    if strat.requires_canonical and not canonicalise:
+        raise ValueError(
+            f"reduction {reduction!r} is only sound under canonical state "
+            "keys; canonicalise=False is not supported"
+        )
     if backend == "pipeline":
+        if not strat.pipeline_safe:
+            # An explicit error, not a silent fallback: the caller chose
+            # the backend, and the policy's constraint should be visible.
+            raise ValueError(
+                f"reduction {reduction!r} is not supported on the pipeline "
+                "backend (cross-shard sleep-set exchange is not "
+                "implemented); use backend='rounds' or workers=1"
+            )
         from repro.engine.pipeline import explore_pipeline, pipeline_usable
 
         if pipeline_usable(on_config):
@@ -284,12 +334,23 @@ def explore_parallel(
         # fusions are counted exactly as the sequential backend counts
         # them (workers only ever close successor suffixes).
         init = initial_config(program)
-        if reduction == "closure":
-            from repro.semantics.reduce import close_config
-
-            init = close_config(program, init)
+        init = strat.normalise_initial(program, init)
     init_key = stable_digest(keyf(init))
     init_blob = pickle.dumps(init, pickle.HIGHEST_PROTOCOL)
+
+    # Sleep-set bookkeeping (sleep-set policies only) — the sharded
+    # mirror of the sequential loop's: ``sleep_of`` holds the current
+    # sleep set per state digest (shipped to the owning worker with the
+    # frontier entry), ``queued`` suppresses duplicate frontier
+    # entries, ``sunk`` suppresses re-pushing successor-free states.  A
+    # rediscovery whose intersection strictly shrinks the stored sleep
+    # set re-pushes the state for re-expansion in a later round.
+    sleep_mode = strat.sleep_expand is not None
+    sleep_of: Optional[Dict[bytes, frozenset]] = (
+        {init_key: frozenset()} if sleep_mode else None
+    )
+    queued: Optional[set] = {init_key} if sleep_mode else None
+    sunk: Optional[set] = set() if sleep_mode else None
 
     visited = {init_key}
     parents: Optional[Dict[bytes, Optional[Tuple]]] = (
@@ -343,10 +404,19 @@ def explore_parallel(
             ]
             for digest, blob in frontier:
                 shards[_shard_of(digest, workers)].append((digest, blob))
+                if sleep_mode:
+                    queued.discard(digest)
             occupied = [(w, s) for w, s in enumerate(shards) if s]
-            results = pool.map(
-                _expand_shard, [[blob for _, blob in s] for _, s in occupied]
-            )
+            if sleep_mode:
+                # Ship each state's *current* sleep set (intersections
+                # from earlier rounds included) alongside its blob.
+                payloads = [
+                    [(blob, sleep_of[d]) for d, blob in s]
+                    for _, s in occupied
+                ]
+            else:
+                payloads = [[blob for _, blob in s] for _, s in occupied]
+            results = pool.map(_expand_shard, payloads)
             batches = []
             for (w, s), (rows, fragment) in zip(occupied, results):
                 batches.append(rows)
@@ -374,6 +444,11 @@ def explore_parallel(
                     if collect_edges:
                         edges[digest] = labels
                     if not targets:
+                        if sleep_mode:
+                            # A re-expanded sink must not be recounted.
+                            if digest in sunk:
+                                continue
+                            sunk.add(digest)
                         (terminal_keys if is_terminal else stuck_keys).append(
                             digest
                         )
@@ -381,16 +456,37 @@ def explore_parallel(
                             sink_blobs[digest] = blob
                         continue
                     for entry in targets:
+                        if sleep_mode:
+                            child_sleep = entry[-1]
+                            entry = entry[:-1]
                         if track_parents:
                             tdigest, tblob, label = entry
                         else:
                             tdigest, tblob = entry
                         if tdigest in visited:
+                            if sleep_mode:
+                                stored = sleep_of.get(tdigest, frozenset())
+                                if stored:
+                                    inter = stored & child_sleep
+                                    if inter != stored:
+                                        # This discovery path justifies
+                                        # less pruning than the stored
+                                        # set: shrink and re-expand.
+                                        sleep_of[tdigest] = inter
+                                        if (
+                                            tdigest not in queued
+                                            and tdigest not in sunk
+                                        ):
+                                            queued.add(tdigest)
+                                            frontier.append((tdigest, tblob))
                             continue
                         if len(visited) >= max_states:
                             truncated = True
                             break
                         visited.add(tdigest)
+                        if sleep_mode:
+                            sleep_of[tdigest] = child_sleep
+                            queued.add(tdigest)
                         if track_parents:
                             parents[tdigest] = (digest,) + label
                         if keep_configs:

@@ -413,16 +413,31 @@ def explore_pipeline(
         # point of the exploration, so the summary path is off the table.
         keep_configs = True
 
+    from repro.semantics.reduce import get_strategy
+
+    strat = get_strategy(reduction)
+    if not strat.pipeline_safe:
+        # Streaming shards never re-visit a state, so policies that need
+        # the sleep-shrink re-expansion protocol (dpor) have no sound
+        # home here; explore_parallel normally rejects these before
+        # dispatch, but guard direct callers too.
+        raise ValueError(
+            f"reduction {reduction!r} is not supported on the pipeline "
+            "backend (cross-shard sleep-set exchange is not implemented); "
+            "use backend='rounds' or workers=1"
+        )
+    if strat.requires_canonical and not canonicalise:
+        raise ValueError(
+            f"reduction {reduction!r} is only sound under canonical state "
+            "keys; canonicalise=False is not supported"
+        )
+
     start = time.perf_counter()
     keyf = key_function(program, canonicalise)
     with _collecting(metrics):
         # Master-side, so the initial configuration's ε-closure fusions
         # are counted exactly once, as in the sequential backend.
-        init = initial_config(program)
-        if reduction == "closure":
-            from repro.semantics.reduce import close_config
-
-            init = close_config(program, init)
+        init = strat.normalise_initial(program, initial_config(program))
     init_key = stable_digest(keyf(init))
 
     ctx = _pool_context()

@@ -23,18 +23,28 @@ one global registry whose snapshot lands on ``ExploreResult.metrics``.
 Counter schema — stable names; the same keys appear in trace
 ``metrics.sample`` events and batch-report ``metrics`` blocks:
 
-==========================  ===============================================
-``explore.states``          states admitted to the visited set
-``explore.edges``           transitions generated while expanding
-``reduce.epsilon_fused``    silent steps fused away by the ε-closure
-``reduce.covering_pruned``  read candidates skipped by the covering prune
-``cache.hits``              engine ``run()`` calls served from the cache
-``cache.misses``            engine ``run()`` calls that explored live
-``shard.<w>.states``        states owned/expanded by shard ``w``
-``pipeline.batches``        cross-shard batches shipped (pipeline backend)
-``pipeline.blob_bytes``     bytes of cross-shard codec blobs (pipeline)
-``rounds.blob_bytes``       bytes of per-state result blobs (rounds)
-==========================  ===============================================
+===================================  ======================================
+``explore.states``                   states admitted to the visited set
+``explore.edges``                    transitions generated while expanding
+``reduce.epsilon_fused``             silent steps fused by the ε-closure
+``reduce.covering_pruned``           read candidates skipped by the
+                                     covering prune
+``reduce.dpor.sleep_blocked``        transitions suppressed by sleep sets
+                                     (dpor)
+``reduce.dpor.persistent_expanded``  states expanded via a *proper*
+                                     persistent subset of their enabled
+                                     threads (dpor)
+``cache.hits``                       engine ``run()`` calls served from
+                                     the cache
+``cache.misses``                     engine ``run()`` calls that explored
+                                     live
+``shard.<w>.states``                 states owned/expanded by shard ``w``
+``pipeline.batches``                 cross-shard batches shipped (pipeline)
+``pipeline.blob_bytes``              bytes of cross-shard codec blobs
+                                     (pipeline)
+``rounds.blob_bytes``                bytes of per-state result blobs
+                                     (rounds)
+===================================  ======================================
 
 Timers (seconds, additive): ``explore.elapsed`` — exploration
 wall-clock, the denominator of the states/sec rate.  Gauges (high-water

@@ -8,10 +8,12 @@ against ``γ`` and library steps against ``β``.
 ``explore`` performs exhaustive breadth-first enumeration of the
 reachable configuration space with canonical state hashing (``canon``),
 which is the engine behind every verification result in this repository.
-``reduce`` is the sound state-space reduction layer (ε-closure of
-silent steps plus covering-read pruning) the engine backends apply
-under ``reduction="closure"``.  ``random_exec`` provides a statistical
-sampling mode for programs too large to enumerate.
+``reduce`` is the reduction-policy registry
+(:class:`~repro.semantics.reduce.ReductionStrategy`) and the sound
+ε-closure + covering-read-prune layer behind ``reduction="closure"``;
+``dpor`` builds the sleep-set + persistent-set partial-order reduction
+(``reduction="dpor"``) on top of it.  ``random_exec`` provides a
+statistical sampling mode for programs too large to enumerate.
 """
 
 from repro.semantics.canon import canonical_key
@@ -20,7 +22,9 @@ from repro.semantics.explore import ExploreResult, explore, final_outcomes, reac
 from repro.semantics.random_exec import random_run
 from repro.semantics.reduce import (
     REDUCTIONS,
+    ReductionStrategy,
     close_config,
+    get_strategy,
     reduced_successors,
 )
 from repro.semantics.step import (
@@ -34,11 +38,13 @@ __all__ = [
     "Config",
     "ExploreResult",
     "REDUCTIONS",
+    "ReductionStrategy",
     "Transition",
     "canonical_key",
     "close_config",
     "explore",
     "final_outcomes",
+    "get_strategy",
     "initial_config",
     "random_run",
     "reachable",

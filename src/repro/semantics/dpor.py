@@ -1,0 +1,366 @@
+"""Sleep-set + covering-persistent-set DPOR over the closed macro-step
+system (``reduction="dpor"``).
+
+The ε-closure (:mod:`repro.semantics.reduce`) removes interleavings of
+*invisible* work; this module removes interleavings of *independent
+visible* work on top of it.  Two classic partial-order techniques are
+composed over :func:`~repro.semantics.reduce.reduced_successors`:
+
+Persistent sets
+---------------
+At each closed configuration the live threads are partitioned by the
+conflict graph of their *whole-continuation footprints*: thread ``t``'s
+footprint is the set of ``(component, variable)`` locations any
+execution of ``cmds[t]`` may still read or write (``MethodCall`` is ⊤ —
+abstract methods have arbitrary footprints).  Threads in different
+components never access a common location for the rest of the run, so
+the enabled transitions of one component form a persistent set:
+
+* a component's variables are written only by its own threads, so no
+  move of another component changes which values its reads can observe;
+* a thread's viewfronts advance only through its own actions, so no
+  move of another component changes which placements/read-froms its
+  transitions admit.
+
+Hence every transition outside the chosen component commutes with (and
+cannot enable, disable, or alter) the transitions inside it — any trace
+from the configuration to a terminal or stuck sink must eventually take
+one of the chosen transitions, and that transition commutes to the
+front (induction on trace length).  Selective search over a persistent
+set per state therefore preserves every terminal configuration
+bit-for-bit and every stuck verdict; no cycle proviso is needed for
+those properties under the engine's stateful BFS, because canonical-key
+cycles consist solely of transitions that leave both component states'
+object identity unchanged (operation sets and view ranks are monotone).
+The selection nevertheless *prefers* components with a memory-progress
+transition (one that produces a new ``γ`` or ``β``) and falls back to
+full expansion when none has one, which keeps the reduction effective
+on await/polling loops instead of repeatedly selecting a spinning
+reader.
+
+Sleep sets
+----------
+Persistent sets cut the branching factor; sleep sets remove the
+residual "commuting square" duplicates *between* the chosen siblings.
+A sleep set rides every frontier entry (threaded through the engine
+backends via the strategy's ``sleep_expand`` hook): thread ``u`` sleeps
+at a child when the search has already expanded, from the same parent,
+a sibling subtree in which every enabled transition of ``u`` is
+independent of the edge taken — any trace starting with ``u`` from the
+child is then a commutation of a trace already explored.  Sleeping
+threads are skipped during expansion (counted as
+``reduce.dpor.sleep_blocked``); a state whose every enabled thread is
+asleep but which still has successors is re-expanded in full with empty
+child sleeps, so sleep sets prune edges, never create artificial sinks.
+
+Independence oracle
+-------------------
+:func:`independence` classifies an *ordered-pair-symmetric* relation on
+enabled transitions, conservatively (``dependent`` when unsure, exactly
+as the paper's synchronisation edges demand):
+
+* same thread, silent macro-edges (a cut-off ε-chain) and abstract
+  method operations: ``dependent``;
+* two non-modifying operations (plain/acquiring reads): ``strong`` —
+  reads create no operations and advance only the reading thread's own
+  viewfront rows, so either order yields bit-identical configurations;
+* operations on the same ``(component, variable)`` location with at
+  least one write/update: ``dependent`` (this subsumes the
+  synchronising release-acquire and RMW edges, which by definition
+  meet at one location);
+* two modifying operations on *different* variables of the *same*
+  component: ``canonical`` — they commute up to timestamp placement
+  (``fresh_ts`` draws from a component-wide pool), which the canonical
+  rank-encoding collapses; sound only under canonical state keys,
+  hence ``requires_canonical`` on the strategy;
+* anything else (disjoint locations, at most sharing a component with
+  a non-modifying op): ``strong``.
+
+``strong`` independence is bit-level commutation — the property the
+hypothesis differential suite (``tests/test_semantics_dpor.py``)
+checks by executing random independent pairs in both orders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.lang import ast as A
+from repro.lang.program import Program
+from repro.memory import actions as ACT
+from repro.obs import metrics as _metrics
+from repro.semantics.config import Config
+from repro.semantics.reduce import (
+    ReductionStrategy,
+    close_config,
+    reduced_successors,
+)
+from repro.semantics.step import Transition
+
+#: Independence verdicts.  ``STRONG`` — the two transitions commute to
+#: bit-identical configurations; ``CANONICAL`` — they commute up to the
+#: canonical rank-encoding of timestamps (same canonical key, possibly
+#: different raw states); ``DEPENDENT`` — no commutation claimed.
+DEPENDENT = "dependent"
+STRONG = "strong"
+CANONICAL = "canonical"
+
+#: Whole-continuation footprint: ``(reads, writes, top)`` over
+#: ``(component, variable)`` locations; ``top`` is the ⊤ element
+#: (may touch anything — ``MethodCall`` and unknown nodes).
+_Footprint = Tuple[FrozenSet, FrozenSet, bool]
+
+_FP_EMPTY: _Footprint = (frozenset(), frozenset(), False)
+_FP_TOP: _Footprint = (frozenset(), frozenset(), True)
+
+#: Memoised footprints, keyed ``(node, in_lib)`` — AST nodes are
+#: immutable and loop unfoldings rebuild structurally-equal suffixes,
+#: so value-keyed memoisation hits across the exploration.  Bounded by
+#: the same crude flush as the step-layer summaries.
+_FOOTPRINTS: Dict[Tuple[A.Node, bool], _Footprint] = {}
+_FOOTPRINTS_MAX = 100_000
+
+
+def thread_footprint(cmd: Optional[A.Node], in_lib: bool = False) -> _Footprint:
+    """The footprint of every possible execution of ``cmd``.
+
+    Conservative over all executions: branches union, loops summarise
+    their bodies; ``Cas``/``Fai`` both read and write their location;
+    commands inside a ``LibBlock`` touch ``'L'`` locations.
+    """
+    if cmd is None:
+        return _FP_EMPTY
+    key = (cmd, in_lib)
+    cached = _FOOTPRINTS.get(key)
+    if cached is not None:
+        return cached
+    comp = "L" if in_lib else "C"
+    if isinstance(cmd, A.LocalAssign):
+        fp: _Footprint = _FP_EMPTY
+    elif isinstance(cmd, A.Read):
+        fp = (frozenset(((comp, cmd.var),)), frozenset(), False)
+    elif isinstance(cmd, A.Write):
+        fp = (frozenset(), frozenset(((comp, cmd.var),)), False)
+    elif isinstance(cmd, (A.Cas, A.Fai)):
+        loc = frozenset(((comp, cmd.var),))
+        fp = (loc, loc, False)
+    elif isinstance(cmd, A.Seq):
+        fp = _fp_union(
+            thread_footprint(cmd.first, in_lib),
+            thread_footprint(cmd.second, in_lib),
+        )
+    elif isinstance(cmd, A.If):
+        fp = _fp_union(
+            thread_footprint(cmd.then_branch, in_lib),
+            thread_footprint(cmd.else_branch, in_lib),
+        )
+    elif isinstance(cmd, A.While):
+        fp = thread_footprint(cmd.body, in_lib)
+    elif isinstance(cmd, A.Labeled):
+        fp = thread_footprint(cmd.body, in_lib)
+    elif isinstance(cmd, A.LibBlock):
+        fp = thread_footprint(cmd.body, True)
+    else:  # MethodCall and anything unforeseen: ⊤.
+        fp = _FP_TOP
+    if len(_FOOTPRINTS) >= _FOOTPRINTS_MAX:
+        _FOOTPRINTS.clear()
+    _FOOTPRINTS[key] = fp
+    return fp
+
+
+def _fp_union(a: _Footprint, b: _Footprint) -> _Footprint:
+    if a[2] or b[2]:
+        return _FP_TOP
+    if a is _FP_EMPTY:
+        return b
+    if b is _FP_EMPTY:
+        return a
+    return a[0] | b[0], a[1] | b[1], False
+
+
+def footprints_conflict(a: _Footprint, b: _Footprint) -> bool:
+    """Whether two footprints may touch a common location with at
+    least one write (⊤ conflicts with everything)."""
+    if a[2] or b[2]:
+        return True
+    ra, wa, _ = a
+    rb, wb, _ = b
+    return bool(wa & (rb | wb)) or bool(wb & ra)
+
+
+def independence(a: Transition, b: Transition) -> str:
+    """Classify an enabled-transition pair (module docstring table)."""
+    if a.tid == b.tid:
+        return DEPENDENT
+    act_a, act_b = a.action, b.action
+    if act_a is None or act_b is None:
+        return DEPENDENT  # cut-off ε macro-edge: no commutation claimed
+    if ACT.is_method(act_a) or ACT.is_method(act_b):
+        return DEPENDENT  # abstract footprints: conservatively dependent
+    mod_a = ACT.is_modifying(act_a)
+    mod_b = ACT.is_modifying(act_b)
+    if not mod_a and not mod_b:
+        return STRONG
+    if (a.component, act_a.var) == (b.component, act_b.var):
+        return DEPENDENT  # one location, ≥1 write/update: sync edges live here
+    if mod_a and mod_b and a.component == b.component:
+        return CANONICAL  # disjoint vars, shared timestamp pool
+    return STRONG
+
+
+def _partition(program: Program, cfg: Config) -> List[List[str]]:
+    """Conflict-graph connected components over the live threads."""
+    live = [t for t in program.tids if cfg.cmds[t] is not None]
+    fps = {t: thread_footprint(cfg.cmds[t]) for t in live}
+    parent = {t: t for t in live}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for i, t in enumerate(live):
+        for u in live[i + 1:]:
+            if footprints_conflict(fps[t], fps[u]):
+                rt, ru = find(t), find(u)
+                if rt != ru:
+                    parent[ru] = rt
+    groups: Dict[str, List[str]] = {}
+    for t in live:
+        groups.setdefault(find(t), []).append(t)
+    return list(groups.values())
+
+
+def _select_persistent(
+    program: Program,
+    cfg: Config,
+    by_tid: Dict[str, List[Transition]],
+) -> Tuple[FrozenSet, bool]:
+    """Choose the persistent set to expand: ``(tids, proper)``.
+
+    Candidates are conflict components with at least one enabled
+    transition; among those with a memory-progress transition (a new
+    ``γ`` or ``β`` — skipping pure spin-reads keeps the reduction
+    useful on await loops) the one with the fewest enabled transitions
+    wins, tie-broken by smallest thread id.  Falls back to full
+    expansion (``proper=False``) when the threads don't split, no
+    candidate makes memory progress, or the winner already covers every
+    enabled transition.
+    """
+    enabled = frozenset(by_tid)
+    groups = _partition(program, cfg)
+    if len(groups) <= 1:
+        return enabled, False
+    best_key = None
+    best_sel: Optional[FrozenSet] = None
+    for group in groups:
+        genabled = [t for t in group if t in by_tid]
+        if not genabled:
+            continue
+        progress = any(
+            tr.target.gamma is not cfg.gamma or tr.target.beta is not cfg.beta
+            for t in genabled
+            for tr in by_tid[t]
+        )
+        if not progress:
+            continue
+        key = (sum(len(by_tid[t]) for t in genabled), min(genabled))
+        if best_key is None or key < best_key:
+            best_key = key
+            best_sel = frozenset(genabled)
+    if best_sel is None or best_sel == enabled:
+        return enabled, False
+    return best_sel, True
+
+
+def dpor_successors(
+    program: Program, cfg: Config, sleep: FrozenSet
+) -> List[Tuple[Transition, FrozenSet]]:
+    """The DPOR expansion of a closed configuration under ``sleep``.
+
+    Returns ``[(transition, child_sleep)]`` — empty exactly when the
+    configuration has no successors at all.  ``sleep`` holds thread
+    ids; a thread sleeps at a child when *all* of its enabled
+    transitions here are independent (strong or canonical) of the edge
+    taken, inherited from the parent sleep plus the already-expanded
+    earlier siblings.
+    """
+    succs = reduced_successors(program, cfg)
+    if not succs:
+        return []
+    by_tid: Dict[str, List[Transition]] = {}
+    for tr in succs:
+        by_tid.setdefault(tr.tid, []).append(tr)
+    if any(tr.action is None for tr in succs):
+        # A cut-off ε macro-edge defeats the footprint analysis (the
+        # silent chain may re-enter any code): full expansion.
+        selected, proper = frozenset(by_tid), False
+    else:
+        selected, proper = _select_persistent(program, cfg, by_tid)
+
+    expand = sorted(t for t in selected if t not in sleep)
+    if expand:
+        blocked = [t for t in selected if t in sleep]
+        if proper and _metrics._ACTIVE is not None:
+            _metrics._ACTIVE.inc("reduce.dpor.persistent_expanded")
+    else:
+        # The whole selection is asleep: fall back to every enabled
+        # thread minus sleep (the full set is trivially persistent and
+        # sleep suppression is justified by the sleep invariant alone).
+        expand = sorted(t for t in by_tid if t not in sleep)
+        blocked = [t for t in by_tid if t in sleep]
+        if not expand:
+            # Every enabled thread is asleep yet successors exist —
+            # re-expand in full with empty child sleeps rather than
+            # manufacture an artificial sink.
+            return [(tr, frozenset()) for tr in succs]
+    if blocked and _metrics._ACTIVE is not None:
+        _metrics._ACTIVE.inc(
+            "reduce.dpor.sleep_blocked",
+            sum(len(by_tid[t]) for t in blocked),
+        )
+
+    # Sleep candidates must be enabled here: independence is only
+    # defined on enabled transitions, and a disabled thread may wake
+    # into different behaviour.
+    inherited = [u for u in sorted(sleep) if u in by_tid]
+    out: List[Tuple[Transition, FrozenSet]] = []
+    for i, t in enumerate(expand):
+        candidates = inherited + expand[:i]
+        for tr in by_tid[t]:
+            child = frozenset(
+                u
+                for u in candidates
+                if u != t
+                and all(independence(utr, tr) != DEPENDENT for utr in by_tid[u])
+            )
+            out.append((tr, child))
+    return out
+
+
+def _dpor_plain_successors(program: Program, cfg: Config) -> List[Transition]:
+    """``successors``-signature wrapper: the empty-sleep expansion —
+    persistent selection only, used by consumers that don't thread
+    sleep sets (``successor_function``, witness re-derivation)."""
+    return [tr for tr, _sleep in dpor_successors(program, cfg, frozenset())]
+
+
+DPOR_STRATEGY = ReductionStrategy(
+    name="dpor",
+    fingerprint_token="dpor-1",
+    successors=_dpor_plain_successors,
+    normalise_initial=close_config,
+    closure_expansion=True,
+    supports_witness_reexpansion=True,
+    worker_safe=True,
+    pipeline_safe=False,  # no cross-shard sleep-set exchange yet
+    requires_canonical=True,
+    sleep_expand=dpor_successors,
+    metric_names=(
+        "reduce.epsilon_fused",
+        "reduce.covering_pruned",
+        "reduce.dpor.sleep_blocked",
+        "reduce.dpor.persistent_expanded",
+    ),
+)

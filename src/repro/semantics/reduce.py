@@ -66,28 +66,40 @@ the successor component state is even constructed).  The gate is
 computed per read site from memoised continuation summaries
 (:func:`repro.semantics.step._node_summary`).
 
-Policy
-------
-Exploration backends accept ``reduction="off"`` (historical semantics,
-the default) or ``reduction="closure"`` (ε-closure + covering-read
-prune).  The reduction changes which configurations are stored — it is
-part of the persistent result-cache key — and consumers that need the
-un-fused transition graph (the refinement checkers and the Owicki–Gries
+Policy registry
+---------------
+This module is the *single* source of truth for reduction policies.
+Each policy is a :class:`ReductionStrategy` — successor function,
+initial-configuration normalisation, cache-fingerprint token,
+composability flags and metric names — registered under its name.
+Every consumer (``validate_reduction``, the engine's
+``successor_function``/``_check_reduction``, the persistent-cache key,
+both parallel backends, batch, the CLI ``--reduction`` choices) reads
+the registry; nothing else enumerates policies.
+
+* ``"off"`` — the historical plain ``=⇒`` relation (the engine default).
+* ``"closure"`` — ε-closure + covering-read prune (this module).
+* ``"dpor"`` — sleep-set + covering-persistent-set partial-order
+  reduction over the closed macro-step system
+  (:mod:`repro.semantics.dpor`), registered from its own module via the
+  import at the bottom of this file.
+
+The reduction changes which configurations are stored — it is part of
+the persistent result-cache key — and consumers that need the un-fused
+transition graph (the refinement checkers and the Owicki–Gries
 enumerator, whose assertions live at intermediate program points)
 explicitly request ``reduction="off"`` at their call sites.
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.lang.program import Program
 from repro.obs import metrics as _metrics
 from repro.semantics.config import Config
 from repro.semantics.step import Transition, silent_step, successors
-
-#: Recognised reduction policies.
-REDUCTIONS = ("off", "closure")
 
 #: Cut-off for one fused silent chain.  Past this many fused steps (or
 #: on an exact ``(continuation, locals)`` revisit) the remaining silent
@@ -99,14 +111,86 @@ REDUCTIONS = ("off", "closure")
 MAX_SILENT_CHAIN = 4096
 
 
+@dataclass(frozen=True)
+class ReductionStrategy:
+    """One reduction policy, as every consumer sees it.
+
+    ``successors`` is the policy's macro-step relation and
+    ``normalise_initial`` its initial-configuration normalisation (both
+    with the ``(program, cfg)`` signature the engine backends use).
+    ``sleep_expand`` — set only for sleep-set policies — replaces
+    ``successors`` inside exploration loops that thread sleep sets: it
+    maps ``(program, cfg, sleep)`` to ``[(transition, child_sleep)]``
+    pairs and returns an empty list exactly when ``cfg`` has no
+    successors at all (sleep sets prune edges, never sink states).
+
+    The flags drive composition:
+
+    * ``closure_expansion`` — witness reconstruction must re-expand
+      recorded macro-edges through the ε-closure replay (true for every
+      policy built on the closed macro-step system);
+    * ``supports_witness_reexpansion`` — recorded parent edges can be
+      re-derived into a concrete, unreduced-replayable schedule;
+    * ``worker_safe`` — the successor/sleep functions are stateless and
+      may run inside sharded ``rounds`` workers;
+    * ``pipeline_safe`` — usable on the pipeline backend (sleep-set
+      policies are not until cross-shard sleep exchange exists);
+    * ``requires_canonical`` — sound only under canonical state keys
+      (the engine rejects ``canonicalise=False``).
+
+    ``fingerprint_token`` feeds the persistent-cache key (alongside
+    ``SEMANTICS_VERSION``): bump a policy's token to invalidate its
+    cached verdicts without touching the other policies' entries.
+    ``metric_names`` documents the policy's own counters (the
+    :mod:`repro.obs.metrics` schema), collected through the active
+    collector exactly like the closure's fusion/prune counts.
+    """
+
+    name: str
+    fingerprint_token: str
+    successors: Callable[[Program, Config], List[Transition]]
+    normalise_initial: Callable[[Program, Config], Config]
+    closure_expansion: bool = False
+    supports_witness_reexpansion: bool = True
+    worker_safe: bool = True
+    pipeline_safe: bool = True
+    requires_canonical: bool = False
+    sleep_expand: Optional[
+        Callable[[Program, Config, frozenset], List[Tuple]]
+    ] = None
+    metric_names: Tuple[str, ...] = field(default_factory=tuple)
+
+
+#: The policy registry: name -> strategy.  Populated below ("off",
+#: "closure") and by :mod:`repro.semantics.dpor` via the import at the
+#: bottom of this module; insertion order is presentation order.
+_REGISTRY: Dict[str, ReductionStrategy] = {}
+
+
+def register_strategy(strategy: ReductionStrategy) -> ReductionStrategy:
+    """Add ``strategy`` to the registry (a duplicate name is a bug)."""
+    if strategy.name in _REGISTRY:
+        raise ValueError(
+            f"reduction policy {strategy.name!r} is already registered"
+        )
+    _REGISTRY[strategy.name] = strategy
+    return strategy
+
+
 def validate_reduction(reduction: str) -> str:
-    """Check a reduction policy spec, returning it unchanged."""
-    if reduction not in REDUCTIONS:
+    """Check a reduction policy spec, returning it unchanged.  The
+    error message lists the recognised policies."""
+    if reduction not in _REGISTRY:
         raise ValueError(
             f"unknown reduction policy {reduction!r}; "
-            f"expected one of {', '.join(REDUCTIONS)}"
+            f"expected one of {', '.join(_REGISTRY)}"
         )
     return reduction
+
+
+def get_strategy(reduction: str) -> ReductionStrategy:
+    """The registered strategy for ``reduction`` (validating it)."""
+    return _REGISTRY[validate_reduction(reduction)]
 
 
 def close_thread(cfg: Config, tid: str) -> Config:
@@ -200,3 +284,44 @@ def reduced_successors(program: Program, cfg: Config) -> List[Transition]:
             # immutable once handed out.
             out[i] = Transition(tr.tid, tr.component, tr.action, closed)
     return out
+
+
+# ---------------------------------------------------------------------------
+# registration
+# ---------------------------------------------------------------------------
+
+register_strategy(
+    ReductionStrategy(
+        name="off",
+        # "off"/"closure" keep their historical plain-name tokens so
+        # existing cached verdicts stay valid across the registry
+        # refactor.
+        fingerprint_token="off",
+        successors=successors,
+        normalise_initial=lambda program, cfg: cfg,
+    )
+)
+
+register_strategy(
+    ReductionStrategy(
+        name="closure",
+        fingerprint_token="closure",
+        successors=reduced_successors,
+        normalise_initial=close_config,
+        closure_expansion=True,
+        metric_names=("reduce.epsilon_fused", "reduce.covering_pruned"),
+    )
+)
+
+# The DPOR strategy lives in its own module and registers itself here.
+# The import is intentionally last: repro.semantics.dpor imports the
+# strategy machinery defined above, so placing it at the bottom keeps
+# the (reduce -> dpor -> reduce) cycle well-founded regardless of which
+# module is imported first.
+from repro.semantics.dpor import DPOR_STRATEGY  # noqa: E402
+
+register_strategy(DPOR_STRATEGY)
+
+#: Recognised reduction policies — derived from the registry, never
+#: restated anywhere else.
+REDUCTIONS = tuple(_REGISTRY)

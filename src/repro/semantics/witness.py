@@ -225,9 +225,12 @@ def reconstruct_witness(
     yields a step-exact, unreduced-replayable witness.  Every returned
     step is an element of ``successors`` at its point by construction.
     """
-    from repro.semantics.reduce import validate_reduction
+    from repro.semantics.reduce import get_strategy
 
-    closure = validate_reduction(reduction) == "closure"
+    # Policies built on the closed macro-step system ("closure" and
+    # "dpor" — the strategy's closure_expansion flag) record macro-edges
+    # that must be re-expanded through the ε-closure replay below.
+    closure = get_strategy(reduction).closure_expansion
 
     # Walk the predecessor chain back to the exploration's initial key.
     edges: List[Tuple] = []

@@ -56,6 +56,32 @@ class TestRunBatch:
         assert data["jobs"][0]["name"] == "litmus"
         assert isinstance(data["jobs"][0]["elapsed"], float)
 
+    def test_meta_records_per_job_reduction(self, tmp_path, monkeypatch):
+        """The schema-2 meta block states each job's *effective*
+        reduction policy: the batch-level policy applies to the litmus
+        battery only — figures/refinements always explore unreduced."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        out = tmp_path / "report.json"
+        report = run_batch(
+            jobs=["litmus", "figures"],
+            json_path=str(out),
+            reduction="dpor",
+        )
+        assert report.ok
+        meta = json.loads(out.read_text())["meta"]
+        assert meta["schema"] == 2
+        assert meta["reduction"] == "dpor"
+        assert meta["jobs"] == {
+            "litmus": {"reduction": "dpor"},
+            "figures": {"reduction": "off"},
+        }
+        # Default job list: every registered job gets an entry.
+        from repro.engine.batch import batch_meta
+
+        full = batch_meta(1, True, "closure")
+        assert set(full["jobs"]) == set(JOB_NAMES)
+        assert full["jobs"]["refine-spinlock"] == {"reduction": "off"}
+
     def test_unknown_job_rejected_up_front(self):
         with pytest.raises(ValueError, match="unknown job"):
             run_batch(jobs=["litmus", "nope"])

@@ -31,7 +31,15 @@ from tests.conftest import (
 )
 
 WORKER_COUNTS = (2, 4)
-REDUCTIONS = ("off", "closure")
+# The pipeline backend runs every pipeline-safe registered policy; the
+# registry is the single source of truth for which those are (dpor is
+# rejected — see TestPipelineBehaviour.test_rejects_non_pipeline_safe).
+from repro.semantics.reduce import REDUCTIONS as _ALL_REDUCTIONS
+from repro.semantics.reduce import get_strategy
+
+REDUCTIONS = tuple(
+    r for r in _ALL_REDUCTIONS if get_strategy(r).pipeline_safe
+)
 
 OBJECT_CLIENTS = (
     ("abstract-lock", abstract_lock_client),
@@ -150,6 +158,24 @@ class TestVerdictParity:
 
 
 class TestPipelineBehaviour:
+    def test_rejects_non_pipeline_safe(self):
+        """Policies flagged ``pipeline_safe=False`` (dpor) are rejected
+        with a clear error, not silently degraded."""
+        from repro.engine.pipeline import explore_pipeline
+
+        assert not get_strategy("dpor").pipeline_safe
+        program = LITMUS_TESTS[0].build()
+        with pytest.raises(ValueError, match="pipeline backend"):
+            ExplorationEngine(workers=2, reduction="dpor").explore(program)
+        with pytest.raises(ValueError, match="pipeline backend"):
+            explore_pipeline(program, 2, 100_000, reduction="dpor")
+        # workers=1 falls back to the sequential engine before backend
+        # dispatch, so the default (pipeline) backend still works there.
+        result = ExplorationEngine(workers=1, reduction="dpor").explore(
+            program
+        )
+        assert result.state_count > 0
+
     def test_truncation_respects_global_cap(self):
         engine = ExplorationEngine(workers=2)
         result = engine.explore(LITMUS_TESTS[0].build(), max_states=3)

@@ -133,7 +133,7 @@ class TestParallelSummaryPath:
 
 class TestPolicyNames:
     def test_reductions_export(self):
-        assert REDUCTIONS == ("off", "closure")
+        assert REDUCTIONS == ("off", "closure", "dpor")
 
     def test_engine_and_semantics_tuples_agree(self):
         from repro.semantics.reduce import REDUCTIONS as SEMANTICS_REDUCTIONS

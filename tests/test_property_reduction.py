@@ -20,6 +20,15 @@ reduced and unreduced exploration must agree on
 
 sequentially and through the sharded parallel backend, whose closure
 counts must match the sequential ones exactly.
+
+``reduction="dpor"`` (sleep sets + persistent sets,
+:mod:`repro.semantics.dpor`) is held to the same verdict bar — equal
+terminal-valuation sets, stuck-existence and reachability verdicts —
+while storing *at most* as many states as closure (it explores a
+subset of the closed macro-step system).  Its parallel leg runs on the
+rounds backend only, and asserts verdict parity without state-count
+equality: sleep sets depend on discovery order, so worker counts may
+legitimately store slightly different (always sound) state sets.
 """
 
 from hypothesis import given, settings
@@ -60,7 +69,7 @@ def _terminal_valuations(result):
 
 
 def assert_reduction_invisible(program: Program, max_states: int = 500_000):
-    """Closure and off agree on everything a verdict consumes."""
+    """All registered policies agree on everything a verdict consumes."""
     off = explore_sequential(program, max_states=max_states)
     red = explore_sequential(
         program, max_states=max_states, reduction="closure"
@@ -72,6 +81,17 @@ def assert_reduction_invisible(program: Program, max_states: int = 500_000):
     # unreduced reachable state).
     assert red.state_count <= off.state_count
     assert red.edge_count <= off.edge_count
+    dpor = explore_sequential(
+        program, max_states=max_states, reduction="dpor"
+    )
+    assert not dpor.truncated
+    assert _terminal_valuations(dpor) == _terminal_valuations(off)
+    assert bool(dpor.stuck) == bool(off.stuck)
+    # dpor explores a subset of the closed macro-step system (sleep and
+    # persistent sets only ever remove expansions), so its stored set is
+    # bounded by closure's.  Edge counts are *not* compared: sleep-set
+    # shrink re-expansions may recount a state's outgoing transitions.
+    assert dpor.state_count <= red.state_count
     return off, red
 
 
@@ -106,7 +126,7 @@ class TestVerdictParity:
                 and cfg.local("2", "r2") == 0
             )
 
-        for reduction in ("off", "closure"):
+        for reduction in ("off", "closure", "dpor"):
             witness = reachable(program, stale, reduction=reduction)
             assert witness is not None and stale(witness)
 
@@ -117,7 +137,7 @@ class TestVerdictParity:
         def stale(cfg):
             return cfg.is_terminal() and cfg.local("2", "r2") == 0
 
-        for reduction in ("off", "closure"):
+        for reduction in ("off", "closure", "dpor"):
             assert reachable(program, stale, reduction=reduction) is None
 
     def test_assert_invariant_parity(self):
@@ -131,13 +151,13 @@ class TestVerdictParity:
                 cfg.local("1", "r0") == 5 and cfg.local("2", "r1") == 5
             )
 
-        for reduction in ("off", "closure"):
+        for reduction in ("off", "closure", "dpor"):
             assert_invariant(program, published, reduction=reduction)
 
         def impossible(cfg):
             return not cfg.is_terminal()
 
-        for reduction in ("off", "closure"):
+        for reduction in ("off", "closure", "dpor"):
             with pytest.raises(VerificationError):
                 assert_invariant(program, impossible, reduction=reduction)
 
@@ -156,6 +176,27 @@ class TestParallelParity:
         assert par.state_count == seq.state_count
         assert par.edge_count == seq.edge_count
         assert _terminal_valuations(par) == _terminal_valuations(seq)
+        assert par.terminal_locals(*test.regs) == set(test.allowed)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize(
+        "name", ["MP-ring-2-RA", "MP-2-producers", "IRIW-await-RA"]
+    )
+    def test_parallel_dpor_verdict_parity(self, name, workers):
+        """dpor through the rounds backend: verdict parity with the
+        sequential engine, state count bounded by sequential closure.
+        State-count *equality* across worker counts is deliberately not
+        asserted — sleep sets depend on discovery order."""
+        test = {t.name: t for t in LITMUS_TESTS}[name]
+        program = test.build()
+        seq = explore_sequential(program, reduction="dpor")
+        closure = explore_sequential(program, reduction="closure")
+        par = ExplorationEngine(
+            workers=workers, reduction="dpor", backend="rounds"
+        ).explore(program)
+        assert _terminal_valuations(par) == _terminal_valuations(seq)
+        assert bool(par.stuck) == bool(seq.stuck)
+        assert par.state_count <= closure.state_count
         assert par.terminal_locals(*test.regs) == set(test.allowed)
 
 

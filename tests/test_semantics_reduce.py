@@ -41,7 +41,7 @@ def _mp_await(ra: bool = True) -> Program:
 
 class TestPolicy:
     def test_known_policies(self):
-        assert set(REDUCTIONS) == {"off", "closure"}
+        assert set(REDUCTIONS) == {"off", "closure", "dpor"}
         for r in REDUCTIONS:
             assert validate_reduction(r) == r
 
