@@ -24,6 +24,11 @@ Options:
   frontier) | ``rounds`` (level-synchronous BFS — the
   deterministic-shortest-path backend ``witness`` always searches
   with);
+* ``--transport T`` — pipeline cross-shard data plane: ``shm``
+  (shared-memory rings, zero-copy — the default where ``SharedMemory``
+  works) | ``queue`` (master-routed blobs, the portable fallback);
+  also via ``REPRO_TRANSPORT``.  Pure performance — results are
+  identical;
 * ``--strategy S``  — frontier strategy ``bfs`` | ``dfs`` |
   ``swarm[:seed]`` (sequential engine only);
 * ``--reduction R`` — state-space reduction policy (any name in the
@@ -89,6 +94,7 @@ def _make_engine(options: Optional[dict] = None):
         cache=cache,
         reduction=options.get("reduction", "closure"),
         backend=options.get("backend", "pipeline"),
+        transport=options.get("transport"),
         metrics=Metrics(),
         trace=_make_trace(options),
         progress=None if quiet else Progress(),
@@ -239,6 +245,7 @@ def run_refine(options: Optional[dict] = None) -> bool:
             strategy=options.get("strategy", "bfs"),
             workers=options.get("workers", 1),
             backend=options.get("backend", "pipeline"),
+            transport=options.get("transport"),
         )
     ok = True
     for fill, lib_vars in (
@@ -350,20 +357,22 @@ def run_batch_cmd(options: Optional[dict] = None) -> bool:
 _COMMAND_FLAGS = {
     "litmus": {
         "workers", "strategy", "no_cache", "reduction", "backend",
-        "trace", "quiet", "verbose",
+        "transport", "trace", "quiet", "verbose",
     },
     "figures": set(),
-    "refine": {"workers", "strategy", "backend", "quiet", "verbose"},
+    "refine": {
+        "workers", "strategy", "backend", "transport", "quiet", "verbose",
+    },
     "batch": {
         "workers", "jobs", "json", "no_cache", "reduction", "backend",
-        "trace", "quiet", "verbose",
+        "transport", "trace", "quiet", "verbose",
     },
     "witness": {
         "workers", "strategy", "reduction", "trace", "quiet", "verbose",
     },
     "all": {
         "workers", "strategy", "no_cache", "reduction", "backend",
-        "trace", "quiet", "verbose",
+        "transport", "trace", "quiet", "verbose",
     },
 }
 
@@ -376,6 +385,7 @@ def _parse_options(args, command: str) -> Optional[dict]:
         "no_cache": False,
         "reduction": "closure",
         "backend": "pipeline",
+        "transport": None,  # auto: REPRO_TRANSPORT, then availability
         "trace": None,
         "quiet": False,
         "verbose": False,
@@ -395,7 +405,7 @@ def _parse_options(args, command: str) -> Optional[dict]:
             given.add("verbose")
         elif flag in (
             "--workers", "--strategy", "--jobs", "--json", "--reduction",
-            "--backend", "--trace",
+            "--backend", "--transport", "--trace",
         ):
             if i + 1 >= len(args):
                 return None
@@ -431,6 +441,16 @@ def _parse_options(args, command: str) -> Optional[dict]:
                     )
                     return None
                 options["backend"] = value
+            elif flag == "--transport":
+                from repro.engine import TRANSPORTS
+
+                if value not in TRANSPORTS:
+                    print(
+                        f"error: unknown transport {value!r}; expected "
+                        + " or ".join(TRANSPORTS)
+                    )
+                    return None
+                options["transport"] = value
             elif flag == "--trace":
                 options["trace"] = value
             else:

@@ -40,6 +40,7 @@ from repro.engine.cache import ResultCache, cache_enabled_by_env
 from repro.engine.core import (
     BACKENDS,
     DEFAULT_MAX_STATES,
+    TRANSPORTS,
     ExplorationEngine,
     explore_sequential,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "ResultCache",
     "SEMANTICS_VERSION",
     "SwarmFrontier",
+    "TRANSPORTS",
     "cache_key",
     "default_engine",
     "explore_parallel",
@@ -105,16 +107,20 @@ def default_engine() -> ExplorationEngine:
     Reads ``REPRO_WORKERS`` (default 1), ``REPRO_STRATEGY`` (default
     ``bfs``), ``REPRO_REDUCTION`` (default ``off``), ``REPRO_BACKEND``
     (default ``pipeline`` — the sharded backend for ``workers > 1``),
-    ``REPRO_CACHE`` (set to ``0`` to disable the persistent cache) and
-    ``REPRO_CACHE_DIR`` afresh on every call, so environment changes
-    (and monkeypatched tests) always take effect.  Engines are cheap to
-    construct; the heavyweight state — the on-disk cache — is shared
-    through the filesystem, not the object.
+    ``REPRO_TRANSPORT`` (``shm``/``queue`` — the pipeline backend's
+    cross-shard data plane; unset auto-resolves to ``shm`` where
+    ``SharedMemory`` works), ``REPRO_CACHE`` (set to ``0`` to disable
+    the persistent cache) and ``REPRO_CACHE_DIR`` afresh on every call,
+    so environment changes (and monkeypatched tests) always take
+    effect.  Engines are cheap to construct; the heavyweight state —
+    the on-disk cache — is shared through the filesystem, not the
+    object.
     """
     workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
     strategy = os.environ.get("REPRO_STRATEGY", "bfs") or "bfs"
     reduction = os.environ.get("REPRO_REDUCTION", "off") or "off"
     backend = os.environ.get("REPRO_BACKEND", "pipeline") or "pipeline"
+    transport = os.environ.get("REPRO_TRANSPORT") or None
     cache = ResultCache() if cache_enabled_by_env() else None
     return ExplorationEngine(
         strategy=strategy,
@@ -122,4 +128,5 @@ def default_engine() -> ExplorationEngine:
         cache=cache,
         reduction=reduction,
         backend=backend,
+        transport=transport,
     )

@@ -40,8 +40,8 @@ def _job_litmus(use_cache: bool, reduction: str = "closure") -> Dict:
     )
 
     # Honour the environment-configured engine (REPRO_WORKERS /
-    # REPRO_STRATEGY / REPRO_BACKEND / cache settings) with the
-    # batch-level reduction policy layered on top.
+    # REPRO_STRATEGY / REPRO_BACKEND / REPRO_TRANSPORT / cache
+    # settings) with the batch-level reduction policy layered on top.
     base = default_engine()
     metrics = Metrics()
     engine = ExplorationEngine(
@@ -50,6 +50,7 @@ def _job_litmus(use_cache: bool, reduction: str = "closure") -> Dict:
         cache=base.cache if use_cache else None,
         reduction=reduction,
         backend=base.backend,
+        transport=base.transport,
         metrics=metrics,
     )
     # "Full" states per test come from the committed reduction-benchmark
@@ -191,6 +192,8 @@ def batch_meta(
         "engine_workers": int(os.environ.get("REPRO_WORKERS", "1") or "1"),
         "engine_backend": os.environ.get("REPRO_BACKEND", "pipeline")
         or "pipeline",
+        # "auto" = resolved per run (shm where SharedMemory works).
+        "engine_transport": os.environ.get("REPRO_TRANSPORT") or "auto",
     }
 
 

@@ -75,6 +75,25 @@ def _check_backend(backend: str) -> str:
     return backend
 
 
+#: Recognised pipeline-backend transports: "shm" — per-worker-pair
+#: shared-memory SPSC rings, batches encoded straight into the owner's
+#: mapped ring memory (zero intermediate copies; the default where
+#: SharedMemory works); "queue" — master-routed multiprocessing.Queue
+#: blobs (the portable fallback).  Result-identical by construction;
+#: see repro.engine.pipeline.resolve_transport for the resolution
+#: order (argument → REPRO_TRANSPORT → availability).
+TRANSPORTS = ("shm", "queue")
+
+
+def _check_transport(transport: str) -> str:
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown pipeline transport {transport!r}; "
+            f"expected one of {', '.join(TRANSPORTS)}"
+        )
+    return transport
+
+
 def _check_reduction(reduction: str) -> str:
     """Validate a policy spec via the registry's own validator, so the
     accepted set cannot drift from the semantics side (the error
@@ -355,6 +374,13 @@ class ExplorationEngine:
         performance — except that only ``"rounds"`` guarantees
         shortest recorded parent edges, which is why
         :meth:`find_witness` pins it.  Ignored when ``workers == 1``.
+    transport:
+        Cross-shard data plane for the pipeline backend —
+        ``"shm"`` (shared-memory rings) or ``"queue"`` (master-routed
+        blobs), or ``None`` (default) to auto-resolve
+        (``REPRO_TRANSPORT``, then ``"shm"`` where ``SharedMemory``
+        works).  Result-identical either way; overridable per call.
+        Ignored by ``"rounds"`` and when ``workers == 1``.
     metrics:
         Optional :class:`repro.obs.metrics.Metrics` sink.  When set (or
         when ``trace`` is), every exploration collects the engine
@@ -387,6 +413,7 @@ class ExplorationEngine:
         metrics: Optional[Metrics] = None,
         trace=None,
         progress=None,
+        transport: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -403,6 +430,9 @@ class ExplorationEngine:
         self.max_states = max_states
         self.reduction = _check_reduction(reduction)
         self.backend = _check_backend(backend)
+        self.transport = (
+            None if transport is None else _check_transport(transport)
+        )
         self.metrics = metrics
         self.trace = trace
         self.progress = progress
@@ -430,6 +460,7 @@ class ExplorationEngine:
         keep_configs: bool = True,
         track_parents: bool = False,
         backend: Optional[str] = None,
+        transport: Optional[str] = None,
     ) -> ExploreResult:
         """Run one exploration, honouring this engine's configuration.
 
@@ -445,6 +476,8 @@ class ExplorationEngine:
         :meth:`find_witness`, which needs the rounds backend's
         shortest-parent guarantee); note that the pipeline backend
         evaluates ``on_config`` worker-side — pure predicates only.
+        ``transport`` overrides the engine's pipeline transport for
+        this call (``"shm"``/``"queue"``; None auto-resolves).
         """
         self.explorations += 1
         cap = self.max_states if max_states is None else max_states
@@ -455,6 +488,9 @@ class ExplorationEngine:
         # usage error, not a silent no-op.
         chosen_backend = (
             self.backend if backend is None else _check_backend(backend)
+        )
+        chosen_transport = (
+            self.transport if transport is None else _check_transport(transport)
         )
         # A fresh per-run registry whenever any sink wants data; the
         # engine-level sink accumulates across explorations while
@@ -487,6 +523,7 @@ class ExplorationEngine:
                 keep_configs=keep_configs,
                 track_parents=track_parents,
                 backend=chosen_backend,
+                transport=chosen_transport,
                 metrics=run_metrics,
                 progress=self.progress,
                 trace=self.trace,

@@ -208,6 +208,7 @@ def explore_parallel(
     metrics: Optional[Metrics] = None,
     progress=None,
     trace=None,
+    transport: Optional[str] = None,
 ) -> ExploreResult:
     """Explore ``program`` with ``workers`` processes, sharded by
     canonical-key digest — dispatching to the requested ``backend``
@@ -258,6 +259,11 @@ def explore_parallel(
     pure predicates, the ``reachable``/``assert_invariant`` shape, work
     under both.  Under a spawn start method an unpicklable callback
     falls back to ``"rounds"`` transparently.
+
+    ``transport`` selects the pipeline backend's cross-shard data plane
+    (``"shm"`` rings / ``"queue"`` blobs; None auto-resolves via
+    ``REPRO_TRANSPORT`` then availability) — pure performance, never
+    results; the rounds backend ignores it.
 
     ``metrics``/``progress``/``trace`` are the observability sinks
     (:mod:`repro.obs`), all defaulting to None (off).  Workers collect
@@ -316,6 +322,7 @@ def explore_parallel(
                 metrics=metrics,
                 progress=progress,
                 trace=trace,
+                transport=transport,
             )
         # Spawn-only host and an unpicklable callback: the rounds
         # backend evaluates on_config master-side and needs neither.

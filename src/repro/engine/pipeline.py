@@ -14,8 +14,8 @@ bottlenecks by inverting the ownership:
   is admitted *in place*: it never leaves the process and never meets
   the codec at all.
 * **Only cross-shard successors travel**, as batches of
-  ``(digest, configuration)`` pairs pickled *together* into one compact
-  codec blob (:mod:`repro.memory.codec`) per batch.  Batch-level
+  ``(digest, configuration)`` pairs encoded *together* in the compact
+  codec wire format (:mod:`repro.memory.codec`) per batch.  Batch-level
   encoding matters: successor configurations share most of their
   substructure (ops sets, actions, view maps, continuations), so one
   pickle memo serialises the shared part once — measured ~6x fewer
@@ -24,16 +24,38 @@ bottlenecks by inverting the ownership:
   forwarded-digest filter, so each remote state is shipped at most once
   per discovering shard — the rounds backend re-ships every duplicate
   discovery, a multiple of the state count on branchy spaces.
-* **The master is a router and terminator, nothing else.**  It forwards
-  batches to the owning worker's inbox, counts them, and detects
-  quiescence from in-flight counters: the exploration is complete when
-  every worker's latest report says it is idle *and* has consumed
-  exactly as many batches as the master has sent it.  (Per-worker
-  message order makes this sound: a worker's outgoing batches reach the
-  master before its idle report, so any not-yet-consumed work shows up
-  as a counter mismatch.)  The master never unpickles a configuration
-  — not even for ``on_config``, which the rounds backend evaluates
-  master-side on every discovered state.
+* **Batches move over a pluggable transport** (``transport=`` /
+  ``REPRO_TRANSPORT``).  The default, ``"shm"``, is the zero-copy data
+  plane of :mod:`repro.engine.shm`: one shared-memory SPSC ring per
+  directed worker pair, the discovering worker encoding each batch
+  *directly into the owner's mapped ring memory* and the owner decoding
+  it from that same memory — no intermediate ``bytes`` object and no
+  master hop.  ``"queue"`` is the original ``multiprocessing.Queue``
+  path (batches routed through the master as opaque blobs), kept
+  byte-identical in behaviour and selected automatically where
+  ``SharedMemory`` is unavailable (e.g. no /dev/shm).  Both transports
+  produce byte-identical exploration results; see
+  :func:`resolve_transport`.
+* **The master is a control plane, nothing else.**  Under ``"shm"`` it
+  only seeds the first configuration, collects errors and detects
+  quiescence: each worker's idle report carries its cumulative per-ring
+  ``(sent, consumed)`` counter vectors, and the exploration is complete
+  when every worker's *latest* report is idle and every directed ring's
+  sent count equals its consumed count (plus every seeded control
+  message is consumed).  FIFO rings make this sound — a worker flushes
+  before it reports, so any in-flight batch shows up as a counter
+  mismatch in the freshest report pair, and a worker that consumed
+  anything after its last report will report again.  The one subtlety:
+  a blocked flush drains inbound rings (the ``on_wait`` anti-deadlock
+  hook), which can refill the frontier *during* ``flush_all`` — the
+  worker must re-check the frontier after flushing and withhold its
+  idle report if so, else the master would see matched counters while
+  unexpanded states hide in a local frontier.  Under ``"queue"``
+  the master additionally routes every batch (the original protocol:
+  complete when all workers idle and consumed-equals-sent on the one
+  master-routed stream).  Either way the master never unpickles a
+  configuration — not even for ``on_config``, which the rounds backend
+  evaluates master-side on every discovered state.
 * **Early stop is a worker-side broadcast.**  ``on_config`` runs in the
   owning worker at expansion (exactly the sequential loop's cadence); a
   truthy return sends one ``hit`` message and the master broadcasts
@@ -65,6 +87,7 @@ pins the rounds backend for shortest-path witnesses.
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 import traceback
@@ -99,6 +122,11 @@ _MASTER_POLL = 2.0
 #: off or the output is not a terminal.
 _STAT_EVERY = 1024
 
+#: Timeout (seconds) on a shm-transport worker's idle wait — the
+#: worker re-drains its rings and control queue at least this often, so
+#: a missed event wakeup costs at most one timeout.
+_IDLE_WAIT = 0.05
+
 
 def pipeline_usable(on_config) -> bool:
     """Whether the pipeline backend can run this exploration here.
@@ -108,6 +136,12 @@ def pipeline_usable(on_config) -> bool:
     argument crosses a pickle boundary, so an unpicklable ``on_config``
     (the common closure case) must fall back to the rounds backend,
     which evaluates the callback master-side.
+
+    This probe runs *before* transport resolution, so the shm and queue
+    paths accept exactly the same callbacks and reject them at exactly
+    the same point — transport choice can never change error timing.
+    The probe pickles at ``HIGHEST_PROTOCOL``, matching how ``spawn``
+    actually ships process arguments.
     """
     if on_config is None:
         return True
@@ -116,10 +150,41 @@ def pipeline_usable(on_config) -> bool:
     if _pool_context().get_start_method() == "fork":
         return True
     try:
-        pickle.dumps(on_config)
+        pickle.dumps(on_config, pickle.HIGHEST_PROTOCOL)
         return True
     except Exception:
         return False
+
+
+def resolve_transport(transport: Optional[str]) -> Tuple[str, str]:
+    """Resolve the cross-shard transport for this run.
+
+    Resolution order: explicit argument → ``REPRO_TRANSPORT`` → the
+    default (``"shm"`` where :func:`repro.engine.shm.shm_available`,
+    else ``"queue"``).  A *requested* ``"shm"`` on a host without
+    working ``SharedMemory`` falls back to ``"queue"`` rather than
+    failing — both transports are result-identical, so availability is
+    a performance concern, not a correctness one.
+
+    Returns ``(transport, reason)`` where ``reason`` is one of
+    ``"requested"``, ``"env"``, ``"default"`` or ``"unavailable"``
+    (shm wanted, queue substituted) — emitted on the run's trace as an
+    ``explore.transport`` event.
+    """
+    from repro.engine.core import _check_transport
+    from repro.engine.shm import shm_available
+
+    reason = "requested"
+    if transport is None:
+        transport = os.environ.get("REPRO_TRANSPORT") or None
+        reason = "env" if transport is not None else "default"
+    if transport is not None:
+        _check_transport(transport)
+    if transport == "queue":
+        return "queue", reason
+    if shm_available():
+        return "shm", reason
+    return "queue", "unavailable"
 
 
 def _budgets(max_states: int, workers: int) -> List[int]:
@@ -144,6 +209,7 @@ def _worker_main(
     budget: int,
     collect_metrics: bool = False,
     report_stats: bool = False,
+    exchange=None,
 ) -> None:
     """One shard-owning worker: the whole exploration loop for shard
     ``wid``, from first admission to result fragment.
@@ -156,13 +222,27 @@ def _worker_main(
       config, parent_edge)``) tuples; ``("finish",)`` — ship the result
       fragment and exit.
     * out: ``("batch", dst, blob)`` — cross-shard successors to route
-      (opaque bytes to the master);
+      (opaque bytes to the master; queue transport only — under shm
+      batches go straight into the owner's ring);
       ``("idle", wid, consumed)`` — local frontier drained, buffers
-      flushed, ``consumed`` inbox batches processed so far;
+      flushed, ``consumed`` inbox batches processed so far.  Under shm
+      the payload is instead ``(sent, received, consumed)``: the
+      cumulative per-destination publish counts, per-source ring
+      consumption counts and control-queue consumption — the master's
+      quiescence evidence — and it is re-sent only when those counters
+      changed since the last report;
       ``("stat", wid, states)`` — periodic progress sample, only under
       ``report_stats``;
       ``("hit", wid)`` / ``("trunc", wid)`` — request a stop broadcast;
       ``("done", wid, fragment)`` / ``("error", wid, traceback)``.
+
+    ``exchange`` is the run's :class:`repro.engine.shm.ShmExchange`
+    (None selects the queue transport).  A shm worker waits on its
+    single inbound data event instead of a blocking queue get, and —
+    crucially — keeps draining its rings even when halted or out of
+    budget, so a producer blocked on a full ring is never deadlocked by
+    a consumer that no longer wants the data (consumption just counts
+    and discards once the budget or a hit closed admission).
 
     ``collect_metrics`` activates a private :class:`Metrics` for the
     worker's lifetime (capturing the reduction layer's counters plus
@@ -213,6 +293,19 @@ def _worker_main(
         forwarded: set = set()  # remote digests already shipped once
         bufs: Dict[int, List] = {d: [] for d in range(workers) if d != wid}
 
+        shm_mode = exchange is not None
+        if shm_mode:
+            from repro.engine.shm import ProducerStopped
+
+            exchange.attach()
+            out_rings = exchange.out_rings(wid)
+            in_rings = exchange.in_rings(wid)
+            data_event = exchange.data_events[wid]
+            stopping = exchange.stop_event.is_set
+            sent = [0] * workers  # cumulative batches published per dst
+            received = [0] * workers  # cumulative batches drained per src
+            last_report = None
+
         def admit(digest: bytes, payload, parent_edge) -> None:
             nonlocal truncated
             if digest in visited or halted:
@@ -227,29 +320,78 @@ def _worker_main(
                 parents[digest] = parent_edge
             frontier.append((digest, payload))
 
+        def admit_batch(batch: List) -> None:
+            # One batch decode: the shared substructure of the batch's
+            # configurations is reconstructed (and interned) once, not
+            # per state.
+            if track_parents:
+                for digest, cfg, parent_edge in batch:
+                    admit(digest, cfg, parent_edge)
+            else:
+                for digest, cfg in batch:
+                    admit(digest, cfg, None)
+
         def handle(msg) -> None:
             nonlocal consumed, finishing
             if msg[0] == "work":
                 consumed += 1
-                # One batch decode: the shared substructure of the
-                # batch's configurations is reconstructed (and interned)
-                # once, not per state.
-                if track_parents:
-                    for digest, cfg, parent_edge in pickle.loads(msg[1]):
-                        admit(digest, cfg, parent_edge)
-                else:
-                    for digest, cfg in pickle.loads(msg[1]):
-                        admit(digest, cfg, None)
+                admit_batch(pickle.loads(msg[1]))
             else:  # "finish"
                 finishing = True
 
-        def flush(dst: int, buf: List) -> None:
-            blob = pickle.dumps(buf, pickle.HIGHEST_PROTOCOL)
-            if m is not None:
-                m.inc("pipeline.batches")
-                m.inc("pipeline.blob_bytes", len(blob))
-            out.put(("batch", dst, blob))
-            bufs[dst] = []
+        if shm_mode:
+
+            def drain_rings() -> int:
+                got = 0
+                for src, ring in in_rings:
+                    n = ring.drain(admit_batch)
+                    if n:
+                        received[src] += n
+                        got += n
+                return got
+
+            def flush(dst: int, buf: List) -> None:
+                ring = out_rings[dst]
+                try:
+                    # on_wait=drain_rings: while blocked on a full peer
+                    # ring, keep consuming our own inbound rings so two
+                    # mutually-publishing workers can't deadlock.
+                    wire, frames, copies, waits = ring.publish(
+                        buf, stop=stopping, on_wait=drain_rings
+                    )
+                except ProducerStopped:
+                    # The run is shutting down and the owner stopped
+                    # draining: drop the batch (counts are lower bounds
+                    # on stopped/truncated runs by contract).
+                    bufs[dst] = []
+                    return
+                sent[dst] += 1
+                if m is not None:
+                    m.inc("pipeline.batches")
+                    m.inc("shm.ring.frames", frames)
+                    m.inc("shm.ring.bytes", wire)
+                    if waits:
+                        m.inc("shm.ring.full_waits", waits)
+                    if copies:
+                        m.inc("pipeline.batch_copies", copies)
+                    m.gauge_max(
+                        f"shm.ring.{wid}.{dst}.occupancy", ring.used()
+                    )
+                bufs[dst] = []
+
+        else:
+
+            def flush(dst: int, buf: List) -> None:
+                blob = pickle.dumps(buf, pickle.HIGHEST_PROTOCOL)
+                if m is not None:
+                    m.inc("pipeline.batches")
+                    m.inc("pipeline.blob_bytes", len(blob))
+                    # Deterministically two intermediate copies per
+                    # batch on this transport: the blob built here plus
+                    # the master routing hop.
+                    m.inc("pipeline.batch_copies", 2)
+                out.put(("batch", dst, blob))
+                bufs[dst] = []
 
         def flush_all() -> None:
             for dst, buf in bufs.items():
@@ -263,13 +405,42 @@ def _worker_main(
                 except Empty:
                     break
                 handle(msg)
+            if shm_mode and not finishing:
+                drain_rings()
             if finishing:
                 break
             if not frontier or halted or truncated:
                 # Nothing (more) to expand: flush, report, block.
                 flush_all()
-                out.put(("idle", wid, consumed))
-                handle(inbox.get())
+                if shm_mode:
+                    if frontier and not (halted or truncated):
+                        # flush_all's on_wait drain refilled the
+                        # frontier: this worker is not idle.  Reporting
+                        # now would hand the master a fully-matched
+                        # counter matrix (the drains are counted) while
+                        # unexpanded states hide in the local frontier —
+                        # a false quiescence that drops states.
+                        continue
+                    report = (tuple(sent), tuple(received), consumed)
+                    if report != last_report:
+                        out.put(("idle", wid, report))
+                        last_report = report
+                    # Clear-then-recheck-then-wait: a producer (or the
+                    # master posting a control message) sets the event
+                    # after publishing, so anything that arrived after
+                    # the clear either shows up in the drain below or
+                    # re-sets the event and cuts the wait short.  The
+                    # timeout bounds the one remaining (benign) race.
+                    data_event.clear()
+                    got = drain_rings()
+                    try:
+                        handle(inbox.get_nowait())
+                    except Empty:
+                        if not got:
+                            data_event.wait(_IDLE_WAIT)
+                else:
+                    out.put(("idle", wid, consumed))
+                    handle(inbox.get())
                 continue
             if m is not None:
                 # Sampled once per burst: the high-water mark of this
@@ -391,17 +562,25 @@ def explore_pipeline(
     metrics: Optional[Metrics] = None,
     progress=None,
     trace=None,
+    transport: Optional[str] = None,
 ) -> ExploreResult:
     """Explore ``program`` with ``workers`` persistent shard-owning
     processes (see the module docstring).  Reached via
     :func:`repro.engine.parallel.explore_parallel` with
     ``backend="pipeline"``; ``workers >= 2`` by construction.
 
+    ``transport`` picks the cross-shard data plane — ``"shm"``
+    (shared-memory rings, the default where available) or ``"queue"``
+    (master-routed blobs); ``None`` resolves via
+    :func:`resolve_transport` (env ``REPRO_TRANSPORT``, then
+    availability).  The choice never affects results, only throughput.
+
     ``metrics``/``progress``/``trace`` are the observability sinks
     (:mod:`repro.obs`), all defaulting to None (off).  Worker metric
     fragments ride home inside the ``done`` messages and merge
     master-side; progress is fed by the workers' opt-in ``stat``
-    samples; ``trace`` gains one ``explore.drain`` event per worker
+    samples; ``trace`` gains one ``explore.transport`` event for the
+    resolved transport and one ``explore.drain`` event per worker
     idle report.
     """
     from repro.engine.core import key_function
@@ -432,6 +611,12 @@ def explore_pipeline(
             "keys; canonicalise=False is not supported"
         )
 
+    chosen_transport, why = resolve_transport(transport)
+    if trace is not None:
+        trace.emit(
+            "explore.transport", transport=chosen_transport, reason=why
+        )
+
     start = time.perf_counter()
     keyf = key_function(program, canonicalise)
     with _collecting(metrics):
@@ -441,6 +626,11 @@ def explore_pipeline(
     init_key = stable_digest(keyf(init))
 
     ctx = _pool_context()
+    exchange = None
+    if chosen_transport == "shm":
+        from repro.engine.shm import ShmExchange
+
+        exchange = ShmExchange(workers, ctx)
     inboxes = [ctx.Queue() for _ in range(workers)]
     out = ctx.Queue()
     budgets = _budgets(max_states, workers)
@@ -453,6 +643,7 @@ def explore_pipeline(
                 keep_configs, on_config, budgets[w],
                 metrics is not None,
                 progress is not None and progress.enabled,
+                exchange,
             ),
             daemon=True,
         )
@@ -461,15 +652,19 @@ def explore_pipeline(
     for p in procs:
         p.start()
 
-    sent = [0] * workers
+    shm_mode = exchange is not None
+    sent = [0] * workers  # control-queue "work" messages per worker
     consumed = [-1] * workers  # as of each worker's latest idle report
     idle = [False] * workers
+    reports: List[Optional[Tuple]] = [None] * workers  # shm counter vectors
     owner = _shard_of(init_key, workers)
     first = (init_key, init, None) if track_parents else (init_key, init)
     inboxes[owner].put(
         ("work", pickle.dumps([first], pickle.HIGHEST_PROTOCOL))
     )
     sent[owner] += 1
+    if shm_mode:
+        exchange.wake(owner)
 
     stopped = False
     truncated = False
@@ -480,6 +675,36 @@ def explore_pipeline(
     def broadcast_finish() -> None:
         for q in inboxes:
             q.put(("finish",))
+        if shm_mode:
+            # Unblock everyone: idle workers waiting on their data
+            # event, and producers blocked on a full ring whose
+            # consumer already stopped draining (their batch is
+            # dropped — sound, because a finish broadcast before
+            # quiescence already marks the counts as lower bounds).
+            exchange.stop_event.set()
+            exchange.wake_all()
+
+    def shm_quiescent() -> bool:
+        """All workers idle, every seeded control message consumed and
+        every directed ring's publish count matched by the consumer's
+        drain count — across the *latest* report of each worker.  FIFO
+        rings + cumulative counters make a false positive impossible: a
+        worker only publishes after its report if it consumed something
+        after its report, which its next report (mandatory, since its
+        counters changed) exposes — provided idle reports are withheld
+        while a frontier refilled by an ``on_wait`` drain is pending
+        (see the worker loop)."""
+        if not all(idle):
+            return False
+        for w in range(workers):
+            if reports[w][2] != sent[w]:
+                return False
+        for s in range(workers):
+            row = reports[s][0]
+            for d in range(workers):
+                if s != d and row[d] != reports[d][1][s]:
+                    return False
+        return True
 
     try:
         while len(fragments) < workers:
@@ -507,6 +732,16 @@ def explore_pipeline(
             elif kind == "idle":
                 wid = msg[1]
                 idle[wid] = True
+                if shm_mode:
+                    reports[wid] = msg[2]
+                    if trace is not None:
+                        trace.emit(
+                            "explore.drain", worker=wid, consumed=msg[2][2]
+                        )
+                    if not finishing and shm_quiescent():
+                        finishing = True
+                        broadcast_finish()
+                    continue
                 consumed[wid] = msg[2]
                 if trace is not None:
                     trace.emit("explore.drain", worker=wid, consumed=msg[2])
@@ -550,12 +785,21 @@ def explore_pipeline(
                     f"pipeline worker {_wid} failed:\n{tb}"
                 )
     except BaseException:
+        if shm_mode:
+            exchange.stop_event.set()
+            exchange.wake_all()
         for p in procs:
             p.terminate()
         raise
     finally:
         for p in procs:
             p.join()
+        if shm_mode:
+            # The master owns the slab's lifecycle: unmap and unlink
+            # now that every worker has exited (their mappings die with
+            # their processes) — no segment survives the run, even an
+            # unclean one.
+            exchange.cleanup()
 
     configs: Dict[bytes, "Config"] = {}
     parents: Optional[Dict[bytes, Optional[Tuple]]] = (

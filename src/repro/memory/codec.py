@@ -34,6 +34,15 @@ the classes retain their ``__getstate__``/``__setstate__`` methods.
 :func:`legacy_dumps` keeps that pre-codec wire format callable — it is
 the reference the codec's size ratio is benchmarked against
 (``benchmarks/test_bench_parallel_pipeline.py``).
+
+For the shared-memory transport (:mod:`repro.engine.shm`) the module
+additionally exposes a *buffer-direct* form of the same wire format:
+:func:`encode_batch_into` streams the pickle straight into a caller-
+provided ``memoryview`` (ring-buffer memory) so a cross-shard batch is
+serialised without ever materialising an intermediate ``bytes`` blob,
+and :func:`decode_batch_from` deserialises from a buffer without
+copying it out first.  Both raise/return through :class:`BufferFull`
+when the batch does not fit — the caller falls back to chunked frames.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from __future__ import annotations
 import io
 import pickle
 from fractions import Fraction
+from itertools import islice
 from typing import Tuple
 
 from repro.memory.actions import Action, Op
@@ -48,13 +58,30 @@ from repro.memory.state import ComponentState
 from repro.semantics.config import Config
 from repro.util.fmap import FMap
 
-#: Per-process intern tables (decode side).  Bounded by a full flush —
-#: the distinct-value populations (action field tuples, timestamp
-#: rationals) grow with the program, not the state count, so the caps
-#: exist only as a backstop against pathological workloads.
+#: Per-process intern tables (decode side).  Bounded by half-eviction
+#: (see :func:`_evict_half`) — the distinct-value populations (action
+#: field tuples, timestamp rationals) grow with the program, not the
+#: state count, so the caps exist only as a backstop against
+#: pathological workloads (very long multi-program batch runs).
 _ACTIONS: dict = {}
 _TIMESTAMPS: dict = {}
 _INTERN_MAX = 1 << 20
+
+
+def _evict_half(table: dict) -> None:
+    """Drop the oldest-inserted half of an intern table.
+
+    Same discipline as the fingerprint module's ``_SUB_DIGESTS`` memo:
+    dicts preserve insertion order, and the live working set — the
+    actions/timestamps of the *current* program's batches — is by
+    construction the recently inserted half, so a long run sheds dead
+    entries from earlier programs without ever dropping (and re-building,
+    losing the identity sharing of) the entries it is actively using,
+    which a full ``clear()`` forced.
+    """
+    drop = len(table) // 2
+    for key in list(islice(table, drop)):
+        del table[key]
 
 #: ``Action`` dataclass defaults, positionally aligned with its fields
 #: ``(kind, var, tid, val, rdval, method, index, sync)``.  ``kind`` and
@@ -121,7 +148,7 @@ def _act(*args) -> Action:
         return Action(*args)
     if cached is None:
         if len(_ACTIONS) >= _INTERN_MAX:
-            _ACTIONS.clear()
+            _evict_half(_ACTIONS)
         cached = _ACTIONS[args] = Action(*args)
     return cached
 
@@ -132,7 +159,7 @@ def _op(act: Action, num: int, den: int) -> Op:
     ts = _TIMESTAMPS.get(key)
     if ts is None:
         if len(_TIMESTAMPS) >= _INTERN_MAX:
-            _TIMESTAMPS.clear()
+            _evict_half(_TIMESTAMPS)
         ts = _TIMESTAMPS[key] = Fraction(num, den)
     return Op(act, ts)
 
@@ -161,6 +188,61 @@ def config_blob(cfg: Config) -> bytes:
 def load_blob(blob: bytes) -> Config:
     """Decode a configuration blob (either wire format)."""
     return pickle.loads(blob)
+
+
+# -- buffer-direct batch form (shared-memory transport) ---------------------
+
+
+class BufferFull(Exception):
+    """Raised by :func:`encode_batch_into` when the batch's encoding
+    does not fit in the buffer the caller provided."""
+
+
+class _ViewWriter:
+    """Minimal write-only file object over a fixed ``memoryview``.
+
+    ``pickle.Pickler`` needs only ``write``; each call lands the chunk
+    directly in the target buffer (ring memory), raising
+    :class:`BufferFull` the moment the encoding would overrun it.
+    """
+
+    __slots__ = ("_buf", "pos")
+
+    def __init__(self, buf: memoryview):
+        self._buf = buf
+        self.pos = 0
+
+    def write(self, data) -> int:
+        n = len(data)
+        end = self.pos + n
+        if end > len(self._buf):
+            raise BufferFull(end)
+        self._buf[self.pos:end] = data
+        self.pos = end
+        return n
+
+
+def encode_batch_into(batch, buf: memoryview) -> int:
+    """Encode a cross-shard batch straight into ``buf``; return the
+    number of bytes written.
+
+    This is the same compact wire format as ``pickle.dumps(batch,
+    HIGHEST_PROTOCOL)`` — the pickler picks up the value classes'
+    ``__reduce__`` methods — but streamed through a writer over the
+    caller's buffer, so no intermediate ``bytes`` object is ever
+    built.  Raises :class:`BufferFull` (buffer unmodified in any way
+    the caller observes — the write position is discarded) when the
+    encoding exceeds ``len(buf)``.
+    """
+    writer = _ViewWriter(buf)
+    pickle.Pickler(writer, pickle.HIGHEST_PROTOCOL).dump(batch)
+    return writer.pos
+
+
+def decode_batch_from(buf) -> list:
+    """Decode a batch from a buffer (``memoryview``/``bytes``) without
+    requiring the caller to copy it out first."""
+    return pickle.loads(buf)
 
 
 # -- pre-codec reference format ---------------------------------------------

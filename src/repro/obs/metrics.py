@@ -41,7 +41,19 @@ Counter schema — stable names; the same keys appear in trace
 ``shard.<w>.states``                 states owned/expanded by shard ``w``
 ``pipeline.batches``                 cross-shard batches shipped (pipeline)
 ``pipeline.blob_bytes``              bytes of cross-shard codec blobs
-                                     (pipeline)
+                                     (pipeline, queue transport)
+``pipeline.batch_copies``            intermediate batch materialisations:
+                                     deterministically 2 per batch on the
+                                     queue transport (worker blob + master
+                                     hop), 0 on shm's zero-copy path, 1
+                                     per chunked oversize batch
+``shm.ring.bytes``                   bytes published into shm rings
+                                     (frame headers included)
+``shm.ring.frames``                  frames published into shm rings
+                                     (> batches only when chunking)
+``shm.ring.full_waits``              producer waits on a full ring —
+                                     sustained growth means undersized
+                                     rings (``REPRO_SHM_RING_CAP``)
 ``rounds.blob_bytes``                bytes of per-state result blobs
                                      (rounds)
 ===================================  ======================================
@@ -49,7 +61,8 @@ Counter schema — stable names; the same keys appear in trace
 Timers (seconds, additive): ``explore.elapsed`` — exploration
 wall-clock, the denominator of the states/sec rate.  Gauges (high-water
 marks, merged by max): ``explore.frontier_peak`` — sampled peak
-frontier/queue depth.
+frontier/queue depth; ``shm.ring.<src>.<dst>.occupancy`` — peak bytes
+resident in the ``src → dst`` ring, sampled at publish.
 """
 
 from __future__ import annotations

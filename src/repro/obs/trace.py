@@ -88,6 +88,7 @@ EVENTS: Dict[str, Dict[str, type]] = {
     },
     "explore.cached": {"key": str},
     "explore.round": {"round": int, "frontier": int, "states": int},
+    "explore.transport": {"transport": str, "reason": str},
     "explore.drain": {"worker": int, "consumed": int},
     "metrics.sample": {"metrics": dict},
     "litmus.start": {"tests": int},

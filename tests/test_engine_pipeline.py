@@ -6,7 +6,12 @@ observable on non-truncated runs — state and edge counts, terminal
 valuations, stuck-existence — across the full litmus catalog and the
 five abstract-object/lock client programs, at 2 and 4 workers,
 under both reduction policies, on both the full-map and the summary
-(``keep_configs=False``) paths.  ``reachable``/``assert_invariant``-
+(``keep_configs=False``) paths, over *both* cross-shard transports —
+``"shm"`` (shared-memory rings, the zero-copy default) and ``"queue"``
+(master-routed blobs): transport choice must never change results.
+Where ``SharedMemory`` is unavailable the shm leg degrades to the
+documented auto-fallback (still queue semantics), so the suite stays
+green everywhere.  ``reachable``/``assert_invariant``-
 shaped verdicts (worker-side pure predicates with a stop broadcast)
 must agree with the sequential wrappers, witnesses reconstructed from
 pipeline-tracked parents must replay, and truncation must respect the
@@ -31,6 +36,10 @@ from tests.conftest import (
 )
 
 WORKER_COUNTS = (2, 4)
+#: Both pipeline transports; "shm" resolves to the queue fallback on
+#: hosts without working SharedMemory (the parity obligations are
+#: identical either way).
+TRANSPORTS = ("shm", "queue")
 # The pipeline backend runs every pipeline-safe registered policy; the
 # registry is the single source of truth for which those are (dpor is
 # rejected — see TestPipelineBehaviour.test_rejects_non_pipeline_safe).
@@ -79,11 +88,14 @@ def _assert_parity(ref, par):
     assert bool(par.stuck) == bool(ref.stuck)
 
 
+@pytest.mark.parametrize("transport", TRANSPORTS)
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
 @pytest.mark.parametrize("reduction", REDUCTIONS)
 class TestCatalogParity:
-    def test_full_litmus_catalog(self, workers, reduction):
-        engine = ExplorationEngine(workers=workers, reduction=reduction)
+    def test_full_litmus_catalog(self, workers, reduction, transport):
+        engine = ExplorationEngine(
+            workers=workers, reduction=reduction, transport=transport
+        )
         assert engine.backend == "pipeline"
         for test in LITMUS_TESTS:
             ref = _reference(test.name, test.build, reduction)
@@ -97,14 +109,17 @@ class TestCatalogParity:
                 ), test.name
 
 
+@pytest.mark.parametrize("transport", TRANSPORTS)
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
 @pytest.mark.parametrize("reduction", REDUCTIONS)
 @pytest.mark.parametrize(
     "name,build", OBJECT_CLIENTS, ids=[n for n, _ in OBJECT_CLIENTS]
 )
 class TestObjectClientParity:
-    def test_client(self, workers, reduction, name, build):
-        engine = ExplorationEngine(workers=workers, reduction=reduction)
+    def test_client(self, workers, reduction, name, build, transport):
+        engine = ExplorationEngine(
+            workers=workers, reduction=reduction, transport=transport
+        )
         ref = _reference(name, build, reduction)
         for keep_configs in (True, False):
             par = engine.explore(build(), keep_configs=keep_configs)
@@ -116,9 +131,12 @@ class TestVerdictParity:
     predicate passed as ``on_config``, evaluated worker-side — agree
     with the sequential wrappers under both reduction policies."""
 
+    @pytest.mark.parametrize("transport", TRANSPORTS)
     @pytest.mark.parametrize("reduction", REDUCTIONS)
-    def test_weak_outcome_reachability(self, reduction):
-        engine = ExplorationEngine(workers=2, reduction=reduction)
+    def test_weak_outcome_reachability(self, reduction, transport):
+        engine = ExplorationEngine(
+            workers=2, reduction=reduction, transport=transport
+        )
         by_name = {t.name: t for t in LITMUS_TESTS}
         for name in ("MP-relaxed", "MP-RA", "MP-await-RA", "SB-relaxed"):
             test = by_name[name]
@@ -134,9 +152,12 @@ class TestVerdictParity:
             if not seq_hit:  # exhaustive no-hit run must stay complete
                 assert not par.truncated
 
+    @pytest.mark.parametrize("transport", TRANSPORTS)
     @pytest.mark.parametrize("reduction", REDUCTIONS)
-    def test_invariant_verdicts(self, reduction):
-        engine = ExplorationEngine(workers=2, reduction=reduction)
+    def test_invariant_verdicts(self, reduction, transport):
+        engine = ExplorationEngine(
+            workers=2, reduction=reduction, transport=transport
+        )
         by_name = {t.name: t for t in LITMUS_TESTS}
         program = by_name["MP-ring-2-RA"].build()
 
@@ -176,8 +197,9 @@ class TestPipelineBehaviour:
         )
         assert result.state_count > 0
 
-    def test_truncation_respects_global_cap(self):
-        engine = ExplorationEngine(workers=2)
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_truncation_respects_global_cap(self, transport):
+        engine = ExplorationEngine(workers=2, transport=transport)
         result = engine.explore(LITMUS_TESTS[0].build(), max_states=3)
         assert result.truncated
         assert result.state_count <= 3
@@ -199,15 +221,18 @@ class TestPipelineBehaviour:
         )
         assert par_wit is not None and len(par_wit) == len(seq_wit)
 
+    @pytest.mark.parametrize("transport", TRANSPORTS)
     @pytest.mark.parametrize("reduction", REDUCTIONS)
-    def test_witness_replay_from_pipeline_parents(self, reduction):
+    def test_witness_replay_from_pipeline_parents(self, reduction, transport):
         """Parents recorded by the pipeline backend reconstruct into
         witnesses that replay through the raw semantics — valid
         discovery paths, even though not necessarily shortest."""
         by_name = {t.name: t for t in LITMUS_TESTS}
         test = by_name["MP-relaxed"]
         program = test.build()
-        engine = ExplorationEngine(workers=2, reduction=reduction)
+        engine = ExplorationEngine(
+            workers=2, reduction=reduction, transport=transport
+        )
         result = engine.explore(program, track_parents=True)
 
         def key_of(cfg):
@@ -225,11 +250,12 @@ class TestPipelineBehaviour:
         final = replay_witness(program, witness)
         assert test.outcome_of(final) in test.weak
 
-    def test_worker_failure_surfaces(self):
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_worker_failure_surfaces(self, transport):
         """An exception inside a worker must fail the exploration (not
         hang it) and re-raise with its original type master-side, as
-        the rounds and sequential backends do."""
-        engine = ExplorationEngine(workers=2)
+        the rounds and sequential backends do — on both transports."""
+        engine = ExplorationEngine(workers=2, transport=transport)
 
         def boom(cfg):
             raise KeyError("probe exploded")
@@ -237,8 +263,9 @@ class TestPipelineBehaviour:
         with pytest.raises(KeyError, match="probe exploded"):
             engine.explore(LITMUS_TESTS[0].build(), on_config=boom)
 
-    def test_summary_path_keeps_sinks_only(self):
-        engine = ExplorationEngine(workers=2)
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_summary_path_keeps_sinks_only(self, transport):
+        engine = ExplorationEngine(workers=2, transport=transport)
         test = LITMUS_TESTS[0]
         full = engine.explore(test.build())
         summary = engine.explore(test.build(), keep_configs=False)

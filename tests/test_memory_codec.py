@@ -111,6 +111,65 @@ class TestInterning:
             assert back == op  # overflow flushes, never corrupts
         assert len(codec._TIMESTAMPS) <= 8
 
+    def test_eviction_keeps_the_newest_half(self, monkeypatch):
+        """Overflow evicts the *oldest* half: entries interned recently
+        must still be shared after the table hits its bound (a clear()
+        would drop them all and cost every hot op its sharing)."""
+        codec.clear_intern_tables()
+        monkeypatch.setattr(codec, "_INTERN_MAX", 8)
+        for v in range(8):  # fill to the bound
+            _roundtrip(Op(mk_write("x", v, "1"), Fraction(v + 1, 1)))
+        recent = _roundtrip(Op(mk_write("x", 7, "1"), Fraction(8, 1)))
+        # Trigger eviction with one fresh value...
+        _roundtrip(Op(mk_write("x", 99, "1"), Fraction(100, 1)))
+        assert len(codec._TIMESTAMPS) <= 8
+        # ...and the newest pre-eviction entries survive as the same
+        # objects, while the oldest were dropped.
+        again = _roundtrip(Op(mk_write("x", 7, "1"), Fraction(8, 1)))
+        assert again.act is recent.act
+        assert again.ts is recent.ts
+        assert ("wr", "x", "1", 7) in codec._ACTIONS
+        assert ("wr", "x", "1", 0) not in codec._ACTIONS
+        assert (8, 1) in codec._TIMESTAMPS
+        assert (1, 1) not in codec._TIMESTAMPS
+
+
+class TestEncodeInto:
+    """The buffer-direct entry points used by the shm ring transport."""
+
+    def test_round_trip_matches_dumps_format(self):
+        program = LITMUS_TESTS[0].build()
+        result = explore(program)
+        batch = [
+            (bytes(8), cfg) for cfg in list(result.configs.values())[:6]
+        ]
+        buf = memoryview(bytearray(1 << 20))
+        n = codec.encode_batch_into(batch, buf)
+        blob = pickle.dumps(batch, pickle.HIGHEST_PROTOCOL)
+        assert n == len(blob)  # same pickler, same wire format
+        assert bytes(buf[:n]) == blob
+        assert codec.decode_batch_from(buf[:n]) == batch
+
+    def test_buffer_full_when_encoding_overruns(self):
+        import pytest
+
+        batch = [("digest" * 10, "payload" * 10)]
+        with pytest.raises(codec.BufferFull):
+            codec.encode_batch_into(batch, memoryview(bytearray(32)))
+
+    def test_partial_write_does_not_escape_buffer(self):
+        """An overrun must stop at the buffer boundary, never write
+        past it."""
+        import pytest
+
+        backing = bytearray(64 + 16)
+        canary = b"\xAA" * 16
+        backing[64:] = canary
+        batch = [("x" * 200, "y" * 200)]
+        with pytest.raises(codec.BufferFull):
+            codec.encode_batch_into(batch, memoryview(backing)[:64])
+        assert bytes(backing[64:]) == canary
+
 
 class TestCompactness:
     def test_codec_beats_legacy_format(self):

@@ -210,15 +210,43 @@ class TestShardedParity:
         assert not mismatches, mismatches
 
     def test_pipeline_reports_codec_traffic(self):
-        # Cross-shard successors must pass through the codec counters.
+        # Cross-shard successors must pass through the transport
+        # counters: batches on either transport, plus the queue
+        # transport's blob bytes and its deterministic two intermediate
+        # copies per batch.
         test = next(t for t in LITMUS_TESTS if t.name == "MP-ring-3-RA")
         m = Metrics()
         engine = ExplorationEngine(
-            workers=WORKERS, backend="pipeline", metrics=m
+            workers=WORKERS, backend="pipeline", transport="queue", metrics=m
         )
         engine.explore(test.build())
         assert m.counters["pipeline.batches"] > 0
         assert m.counters["pipeline.blob_bytes"] > 0
+        assert (
+            m.counters["pipeline.batch_copies"]
+            == 2 * m.counters["pipeline.batches"]
+        )
+
+    def test_pipeline_shm_reports_ring_traffic(self):
+        # The shm transport replaces blob bytes with ring frame bytes
+        # and must report *zero* intermediate batch copies on spaces
+        # whose batches fit the rings (the zero-copy contract).
+        from repro.engine.shm import shm_available
+
+        if not shm_available():
+            import pytest
+
+            pytest.skip("SharedMemory unavailable; shm falls back to queue")
+        test = next(t for t in LITMUS_TESTS if t.name == "MP-ring-3-RA")
+        m = Metrics()
+        engine = ExplorationEngine(
+            workers=WORKERS, backend="pipeline", transport="shm", metrics=m
+        )
+        engine.explore(test.build())
+        assert m.counters["pipeline.batches"] > 0
+        assert m.counters["shm.ring.frames"] >= m.counters["pipeline.batches"]
+        assert m.counters["shm.ring.bytes"] > 0
+        assert m.counters.get("pipeline.batch_copies", 0) == 0
 
     def test_rounds_reports_codec_traffic(self):
         test = next(t for t in LITMUS_TESTS if t.name == "MP-ring-3-RA")

@@ -119,7 +119,8 @@ class TestValidateEvent:
     def test_every_documented_event_has_a_spec(self):
         assert set(EVENTS) == {
             "explore.start", "explore.finish", "explore.cached",
-            "explore.round", "explore.drain", "metrics.sample",
+            "explore.round", "explore.drain", "explore.transport",
+            "metrics.sample",
             "litmus.start", "litmus.finish",
             "batch.start", "batch.finish",
             "batch.job.start", "batch.job.finish",
