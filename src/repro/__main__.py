@@ -13,6 +13,11 @@ Commands:
   with predecessor tracking and reconstructs the concrete schedule,
   re-expanding ε-closure macro-steps when ``--reduction closure``
   (the default) did the searching;
+* ``lint``     — statically analyse the shipped program corpus (the
+  litmus catalog, the figure programs and the ``examples/`` builders)
+  with the :mod:`repro.analysis` passes and print every finding; the
+  command fails only on *error*-severity findings (expected warnings —
+  the relaxed litmus races — are informational);
 * ``all``      — litmus + figures + refine (default).
 
 Options:
@@ -38,6 +43,10 @@ Options:
   order reduction layered on ``closure``; sequential or
   ``--backend rounds``) | ``off`` (the unreduced semantics) for
   ``litmus``/``batch``;
+* ``--analysis P``  — static-analysis policy the engine applies before
+  exploring: ``off`` (default) | ``warn`` (log findings, count them in
+  the metrics) | ``strict`` (refuse to explore a program with
+  error-severity findings);
 * ``--no-cache``    — disable the persistent result cache;
 * ``--jobs a,b,c``  — subset of batch jobs (default: all);
 * ``--json PATH``   — write the batch report to PATH;
@@ -98,6 +107,7 @@ def _make_engine(options: Optional[dict] = None):
         metrics=Metrics(),
         trace=_make_trace(options),
         progress=None if quiet else Progress(),
+        analysis=options.get("analysis", "off"),
     )
 
 
@@ -322,6 +332,108 @@ def run_witness(options: Optional[dict] = None) -> bool:
     return ok
 
 
+def _example_programs():
+    """``(label, program)`` pairs from the ``examples/`` directory's
+    program builders, imported by file path (the directory is not a
+    package); missing files or import failures skip gracefully —
+    installed distributions may not ship the examples."""
+    import importlib.util
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2] / "examples"
+    if not root.is_dir():
+        return []
+    builders = {
+        "quickstart": [
+            ("message_passing(True, True)",
+             lambda m: m.message_passing(True, True)),
+            ("message_passing(False, False)",
+             lambda m: m.message_passing(False, False)),
+        ],
+        "work_queue": [
+            ("handoff(True)", lambda m: m.handoff(True)),
+            ("handoff(False)", lambda m: m.handoff(False)),
+        ],
+        "custom_object": [
+            ("publication_client()", lambda m: m.publication_client()),
+        ],
+    }
+    out = []
+    for mod_name, entries in builders.items():
+        path = root / f"{mod_name}.py"
+        if not path.is_file():
+            continue
+        spec = importlib.util.spec_from_file_location(
+            f"_repro_lint_example_{mod_name}", path
+        )
+        if spec is None or spec.loader is None:
+            continue
+        module = importlib.util.module_from_spec(spec)
+        try:
+            spec.loader.exec_module(module)
+        except Exception:
+            continue
+        for label, build in entries:
+            try:
+                out.append((f"examples/{mod_name}.{label}", build(module)))
+            except Exception:
+                continue
+    return out
+
+
+def lint_targets():
+    """The shipped program corpus the ``lint`` command analyses:
+    ``(label, program)`` for every litmus test, the figure programs,
+    Peterson's lock and the example builders."""
+    from repro.figures.fig1 import fig1_program
+    from repro.figures.fig2 import fig2_program
+    from repro.figures.fig7 import fig7_program
+    from repro.litmus.catalog import LITMUS_TESTS
+    from repro.litmus.peterson import peterson_program
+
+    targets = [(f"litmus/{t.name}", t.build()) for t in LITMUS_TESTS]
+    targets += [
+        ("figures/fig1", fig1_program()),
+        ("figures/fig2", fig2_program()),
+        ("figures/fig7", fig7_program()),
+        ("litmus/peterson", peterson_program()),
+    ]
+    targets += _example_programs()
+    return targets
+
+
+def run_lint(options: Optional[dict] = None) -> bool:
+    """Statically analyse the shipped program corpus; True iff no
+    target has an error-severity finding (warnings are reported but
+    expected — the relaxed litmus tests race by design)."""
+    from repro.analysis import analyse_program
+
+    options = options or {}
+    quiet = options.get("quiet", False)
+    targets = lint_targets()
+    total_errors = 0
+    total_warnings = 0
+    clean = 0
+    for label, program in targets:
+        report = analyse_program(program)
+        total_errors += len(report.errors)
+        total_warnings += len(report.warnings)
+        if report.clean():
+            clean += 1
+            if not quiet:
+                print(f"{label:45s} clean")
+            continue
+        codes = ", ".join(sorted(report.codes()))
+        print(f"{label:45s} {codes}")
+        for diag in report.diagnostics:
+            print(f"  {diag.format()}")
+    print(
+        f"lint: {len(targets)} programs analysed, {clean} clean, "
+        f"{total_errors} error(s), {total_warnings} warning(s)"
+    )
+    return total_errors == 0
+
+
 def run_batch_cmd(options: Optional[dict] = None) -> bool:
     """Run the batch job suite; True iff every job passes."""
     from repro.engine.batch import run_batch
@@ -357,7 +469,7 @@ def run_batch_cmd(options: Optional[dict] = None) -> bool:
 _COMMAND_FLAGS = {
     "litmus": {
         "workers", "strategy", "no_cache", "reduction", "backend",
-        "transport", "trace", "quiet", "verbose",
+        "transport", "trace", "quiet", "verbose", "analysis",
     },
     "figures": set(),
     "refine": {
@@ -369,10 +481,12 @@ _COMMAND_FLAGS = {
     },
     "witness": {
         "workers", "strategy", "reduction", "trace", "quiet", "verbose",
+        "analysis",
     },
+    "lint": {"quiet", "verbose"},
     "all": {
         "workers", "strategy", "no_cache", "reduction", "backend",
-        "transport", "trace", "quiet", "verbose",
+        "transport", "trace", "quiet", "verbose", "analysis",
     },
 }
 
@@ -389,6 +503,7 @@ def _parse_options(args, command: str) -> Optional[dict]:
         "trace": None,
         "quiet": False,
         "verbose": False,
+        "analysis": "off",
     }
     given = set()
     i = 0
@@ -405,7 +520,7 @@ def _parse_options(args, command: str) -> Optional[dict]:
             given.add("verbose")
         elif flag in (
             "--workers", "--strategy", "--jobs", "--json", "--reduction",
-            "--backend", "--transport", "--trace",
+            "--backend", "--transport", "--trace", "--analysis",
         ):
             if i + 1 >= len(args):
                 return None
@@ -451,6 +566,16 @@ def _parse_options(args, command: str) -> Optional[dict]:
                     )
                     return None
                 options["transport"] = value
+            elif flag == "--analysis":
+                from repro.analysis import ANALYSIS_POLICIES
+
+                if value not in ANALYSIS_POLICIES:
+                    print(
+                        f"error: unknown analysis policy {value!r}; expected "
+                        + " or ".join(ANALYSIS_POLICIES)
+                    )
+                    return None
+                options["analysis"] = value
             elif flag == "--trace":
                 options["trace"] = value
             else:
@@ -477,6 +602,7 @@ def main(argv) -> int:
         "refine": [run_refine],
         "batch": [run_batch_cmd],
         "witness": [run_witness],
+        "lint": [run_lint],
         "all": [run_litmus, run_figures, run_refine],
     }
     if command not in dispatch:

@@ -31,6 +31,7 @@ from repro.obs.metrics import Metrics
 
 
 def _job_litmus(use_cache: bool, reduction: str = "closure") -> Dict:
+    from repro.analysis import analyse_program
     from repro.engine import default_engine
     from repro.engine.core import ExplorationEngine
     from repro.litmus.catalog import (
@@ -58,7 +59,15 @@ def _job_litmus(use_cache: bool, reduction: str = "closure") -> Dict:
     baseline = reduction_baseline() if reduction == "closure" else None
     rows = []
     ok = True
+    diag_errors = 0
+    diag_warnings = 0
+    diag_by_test: Dict[str, List[str]] = {}
     for test in LITMUS_TESTS:
+        report = analyse_program(test.build())
+        diag_errors += len(report.errors)
+        diag_warnings += len(report.warnings)
+        if not report.clean():
+            diag_by_test[test.name] = sorted(report.codes())
         verdict = run_litmus(test, engine=engine, use_cache=use_cache)
         ok &= verdict["verdict_ok"]
         row = {
@@ -81,7 +90,17 @@ def _job_litmus(use_cache: bool, reduction: str = "closure") -> Dict:
         # count is a point-in-time reading, hence a gauge).
         cache_stats = engine.cache.stats()
         metrics.gauge_max("cache.entries", cache_stats["entries"])
-    return {"ok": ok, "detail": rows, "metrics": metrics.snapshot()}
+    return {
+        "ok": ok,
+        "detail": rows,
+        "metrics": metrics.snapshot(),
+        "diagnostics": {
+            "analysed": len(LITMUS_TESTS),
+            "errors": diag_errors,
+            "warnings": diag_warnings,
+            "by_test": diag_by_test,
+        },
+    }
 
 
 def _job_figures() -> Dict:
@@ -152,8 +171,10 @@ def _job_refine(impl: str) -> Dict:
 
 #: Version of the batch-report JSON layout.  2 added the ``meta`` block,
 #: per-job ``metrics`` snapshots and the aggregated report ``metrics``
-#: (the un-versioned original layout is retroactively 1).
-REPORT_SCHEMA = 2
+#: (the un-versioned original layout is retroactively 1); 3 added the
+#: per-job ``diagnostics`` block (static-analysis summaries — populated
+#: by the litmus battery, ``null`` for jobs that don't run the passes).
+REPORT_SCHEMA = 3
 
 
 def batch_meta(
@@ -220,6 +241,10 @@ class JobResult:
     #: exploration engine with a metrics sink — currently the litmus
     #: battery; None for the rest.
     metrics: Optional[Dict] = None
+    #: Static-analysis summary for jobs that run the passes — the litmus
+    #: battery reports ``{analysed, errors, warnings, by_test}`` (codes
+    #: per non-clean test); None for the rest.
+    diagnostics: Optional[Dict] = None
 
     def to_dict(self) -> Dict:
         return {
@@ -229,6 +254,7 @@ class JobResult:
             "detail": self.detail,
             "error": self.error,
             "metrics": self.metrics,
+            "diagnostics": self.diagnostics,
         }
 
 
@@ -322,6 +348,7 @@ def run_job(
         elapsed=time.perf_counter() - start,
         detail=outcome.get("detail"),
         metrics=outcome.get("metrics"),
+        diagnostics=outcome.get("diagnostics"),
     )
 
 

@@ -94,6 +94,14 @@ def _check_transport(transport: str) -> str:
     return transport
 
 
+def _check_analysis(policy: str) -> str:
+    # Lazy for symmetry with the reduction registry (and to keep the
+    # engine package import-light).
+    from repro.analysis import validate_analysis
+
+    return validate_analysis(policy)
+
+
 def _check_reduction(reduction: str) -> str:
     """Validate a policy spec via the registry's own validator, so the
     accepted set cannot drift from the semantics side (the error
@@ -400,6 +408,16 @@ class ExplorationEngine:
     progress:
         Optional :class:`repro.obs.progress.Progress` heartbeat,
         updated while explorations run and erased when they finish.
+    analysis:
+        Static-analysis policy applied to every program before it is
+        explored, one of :data:`repro.analysis.ANALYSIS_POLICIES` —
+        ``"off"`` (default: skip the passes entirely), ``"warn"`` (log
+        findings on the ``repro.analysis`` logger and count them in the
+        run metrics) or ``"strict"`` (additionally refuse to explore a
+        program with error-severity findings, raising
+        :class:`~repro.util.errors.VerificationError`).  Overridable
+        per :meth:`explore` call; when a trace writer is attached an
+        ``analysis.report`` event is emitted per analysed program.
     """
 
     def __init__(
@@ -414,6 +432,7 @@ class ExplorationEngine:
         trace=None,
         progress=None,
         transport: Optional[str] = None,
+        analysis: str = "off",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -429,6 +448,7 @@ class ExplorationEngine:
         self.cache = cache
         self.max_states = max_states
         self.reduction = _check_reduction(reduction)
+        self.analysis = _check_analysis(analysis)
         self.backend = _check_backend(backend)
         self.transport = (
             None if transport is None else _check_transport(transport)
@@ -461,12 +481,15 @@ class ExplorationEngine:
         track_parents: bool = False,
         backend: Optional[str] = None,
         transport: Optional[str] = None,
+        analysis: Optional[str] = None,
     ) -> ExploreResult:
         """Run one exploration, honouring this engine's configuration.
 
         ``reduction`` overrides the engine's policy for this call —
         checkers that consume the un-fused transition graph (refinement,
         Owicki–Gries) pass ``reduction="off"`` explicitly.
+        ``analysis`` likewise overrides the engine's static-analysis
+        policy for this call.
         ``keep_configs=False`` lets the sharded backends drop per-state
         payloads once expanded (summary-only consumers); the sequential
         backend keys its visited set by configuration and ignores it.
@@ -500,6 +523,17 @@ class ExplorationEngine:
             if (self.metrics is not None or self.trace is not None)
             else None
         )
+        policy = (
+            self.analysis if analysis is None else _check_analysis(analysis)
+        )
+        if policy != "off":
+            try:
+                self._run_analysis(program, policy, run_metrics)
+            except Exception:
+                # A strict refusal still leaves its counters behind.
+                if self.metrics is not None and run_metrics is not None:
+                    self.metrics.merge(run_metrics)
+                raise
         if self.trace is not None:
             self.trace.emit(
                 "explore.start",
@@ -560,6 +594,51 @@ class ExplorationEngine:
         if self.metrics is not None and run_metrics is not None:
             self.metrics.merge(run_metrics)
         return result
+
+    # -- static analysis ----------------------------------------------------
+    def _run_analysis(
+        self, program: Program, policy: str, run_metrics: Optional[Metrics]
+    ):
+        """Run the static passes under ``policy`` (``"warn"`` or
+        ``"strict"``); returns the report, raising under ``"strict"``
+        when it contains error-severity findings."""
+        import logging
+
+        from repro.analysis import analyse_program
+
+        report = analyse_program(program)
+        errors, warnings = report.errors, report.warnings
+        if run_metrics is not None:
+            run_metrics.inc("analysis.runs")
+            if errors:
+                run_metrics.inc("analysis.errors", len(errors))
+            if warnings:
+                run_metrics.inc("analysis.warnings", len(warnings))
+        if self.trace is not None:
+            self.trace.emit(
+                "analysis.report",
+                policy=policy,
+                errors=len(errors),
+                warnings=len(warnings),
+            )
+        if report.diagnostics:
+            logger = logging.getLogger("repro.analysis")
+            for diag in report.diagnostics:
+                level = (
+                    logging.ERROR
+                    if diag.severity == "error"
+                    else logging.WARNING
+                )
+                logger.log(level, "%s", diag.format())
+        if policy == "strict" and errors:
+            from repro.util.errors import VerificationError
+
+            raise VerificationError(
+                "static analysis found "
+                f"{len(errors)} error(s) under analysis='strict':\n"
+                + "\n".join(d.format() for d in errors)
+            )
+        return report
 
     # -- counterexample witnesses -------------------------------------------
     def _witness_key_of(self, program: Program) -> Callable[["Config"], object]:

@@ -189,37 +189,30 @@ def seq_cons(first: Com, second: Node) -> Node:
     return Seq(first, second)
 
 
+_NO_REGS: frozenset = frozenset()
+
+
+def _lib_regs_fold(node: Com, in_lib: bool, child_values) -> frozenset:
+    if node is None:
+        return _NO_REGS
+    if isinstance(node, (LocalAssign, Read, Cas, Fai)):
+        return frozenset({node.reg}) if in_lib else _NO_REGS
+    acc = _NO_REGS
+    for value in child_values:
+        acc |= value
+    if isinstance(node, LibBlock):
+        # Scoped subtraction: only *this* block's public registers are
+        # client-visible; an enclosing block's privacy is unaffected.
+        return acc - node.public_regs
+    return acc
+
+
 def library_registers(cmd: Com) -> frozenset:
     """Registers assigned inside ``LibBlock`` regions of ``cmd``.
 
     These constitute ``LVar_L``; the client trace projection (paper §6.1)
     removes them from local states.
     """
-    return _collect_regs(cmd, in_lib=False)
+    from repro.lang.walk import fold  # walk imports this module
 
-
-def _collect_regs(cmd: Com, in_lib: bool) -> frozenset:
-    if cmd is None:
-        return frozenset()
-    if isinstance(cmd, (LocalAssign, Read, Cas, Fai)):
-        if in_lib:
-            regname = cmd.reg
-            return frozenset({regname})
-        return frozenset()
-    if isinstance(cmd, Write):
-        return frozenset()
-    if isinstance(cmd, MethodCall):
-        return frozenset()
-    if isinstance(cmd, Seq):
-        return _collect_regs(cmd.first, in_lib) | _collect_regs(cmd.second, in_lib)
-    if isinstance(cmd, If):
-        return _collect_regs(cmd.then_branch, in_lib) | _collect_regs(
-            cmd.else_branch, in_lib
-        )
-    if isinstance(cmd, While):
-        return _collect_regs(cmd.body, in_lib)
-    if isinstance(cmd, LibBlock):
-        return _collect_regs(cmd.body, True) - cmd.public_regs
-    if isinstance(cmd, Labeled):
-        return _collect_regs(cmd.body, in_lib)
-    raise TypeError(f"unknown command node: {cmd!r}")
+    return fold(cmd, _lib_regs_fold)

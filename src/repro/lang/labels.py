@@ -13,12 +13,12 @@ from typing import Optional
 
 from repro.lang.ast import (
     Com,
-    If,
     Labeled,
     LibBlock,
     Seq,
     While,
 )
+from repro.lang.walk import fold
 
 #: Program counter of a terminated thread (customisable per thread in
 #: :class:`~repro.lang.program.Thread`).
@@ -37,26 +37,25 @@ def pc_of(cmd: Com, done_label=DONE_PC):
     """
     if cmd is None:
         return done_label
-    found = _leftmost_label(cmd)
-    return found
+    return _leftmost_label(cmd)
+
+
+def _label_fold(node: Com, in_lib: bool, child_values) -> Optional[object]:
+    if node is None:
+        return None
+    if isinstance(node, Labeled):
+        # The outermost label denotes the whole region; children are
+        # not consulted.
+        return node.label
+    if isinstance(node, Seq):
+        first, second = child_values
+        return first if first is not None else second
+    if isinstance(node, (While, LibBlock)):
+        return child_values[0]
+    # ``If``: a conditional's label lives on the node wrapping it —
+    # branches are only consulted once taken.  Leaves carry no label.
+    return None
 
 
 def _leftmost_label(cmd: Com) -> Optional[object]:
-    if cmd is None:
-        return None
-    if isinstance(cmd, Labeled):
-        return cmd.label
-    if isinstance(cmd, Seq):
-        left = _leftmost_label(cmd.first)
-        if left is not None:
-            return left
-        return _leftmost_label(cmd.second)
-    if isinstance(cmd, While):
-        return _leftmost_label(cmd.body)
-    if isinstance(cmd, If):
-        # A conditional's label lives on the node wrapping it; branches
-        # are only consulted once taken.
-        return None
-    if isinstance(cmd, LibBlock):
-        return _leftmost_label(cmd.body)
-    return None
+    return fold(cmd, _label_fold)

@@ -34,6 +34,16 @@ Counter schema — stable names; the same keys appear in trace
 ``reduce.dpor.persistent_expanded``  states expanded via a *proper*
                                      persistent subset of their enabled
                                      threads (dpor)
+``reduce.dpor.static_disjoint``      thread-pair conflict tests skipped
+                                     by the static-disjointness fast
+                                     path (dpor)
+``analysis.runs``                    programs statically analysed by the
+                                     engine (``analysis=`` policies
+                                     other than ``"off"``)
+``analysis.errors``                  error-severity findings across
+                                     those runs
+``analysis.warnings``                warning-severity findings across
+                                     those runs
 ``cache.hits``                       engine ``run()`` calls served from
                                      the cache
 ``cache.misses``                     engine ``run()`` calls that explored

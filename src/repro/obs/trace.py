@@ -44,6 +44,10 @@ consumers must ignore unknown fields; the fields below are guaranteed):
     a metrics snapshot — ``metrics`` (the
     :meth:`repro.obs.metrics.Metrics.snapshot` dict); emitted by the
     engine after each exploration's ``explore.finish``;
+``analysis.report``
+    the engine's pre-exploration static analysis ran (``analysis=``
+    policies other than ``"off"``) — ``policy``, ``errors``,
+    ``warnings`` (finding counts by severity);
 ``litmus.start`` / ``litmus.finish``
     CLI litmus battery span — ``tests`` / ``ok``;
 ``batch.start`` / ``batch.finish``
@@ -91,6 +95,7 @@ EVENTS: Dict[str, Dict[str, type]] = {
     "explore.transport": {"transport": str, "reason": str},
     "explore.drain": {"worker": int, "consumed": int},
     "metrics.sample": {"metrics": dict},
+    "analysis.report": {"policy": str, "errors": int, "warnings": int},
     "litmus.start": {"tests": int},
     "litmus.finish": {"ok": bool},
     "batch.start": {"jobs": list, "workers": int},

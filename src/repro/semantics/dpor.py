@@ -9,12 +9,29 @@ composed over :func:`~repro.semantics.reduce.reduced_successors`:
 Persistent sets
 ---------------
 At each closed configuration the live threads are partitioned by the
-conflict graph of their *whole-continuation footprints*: thread ``t``'s
-footprint is the set of ``(component, variable)`` locations any
-execution of ``cmds[t]`` may still read or write (``MethodCall`` is ⊤ —
-abstract methods have arbitrary footprints).  Threads in different
-components never access a common location for the rest of the run, so
-the enabled transitions of one component form a persistent set:
+conflict graph of their *footprints*: thread ``t``'s footprint is the
+set of ``(component, variable)`` locations any execution of
+``cmds[t]`` may still read or write (``MethodCall`` is ⊤ — abstract
+methods have arbitrary footprints).  Two refinements sharpen the
+partition beyond the whole-continuation union:
+
+* **static disjointness** — thread pairs whose *whole-body* footprints
+  never conflict are disjoint in every reachable configuration
+  (continuation footprints only shrink), so their conflict test is
+  skipped outright, memoised once per program;
+* **phase sensitivity** — the default footprint is
+  :func:`repro.analysis.phase_footprint`, which constant-folds branch
+  conditions under the thread's *current* local state: locations
+  touched only by statically-dead branches drop out, so the summary
+  shrinks as the continuation advances (a mode register read early
+  resolves the conditionals of later phases).  Both refinements yield
+  subsets of the whole-continuation footprint, so the persistent-set
+  argument below is unaffected; :func:`set_footprint_mode` reverts to
+  ``"whole"`` for differential benchmarking.
+
+Threads in different components never access a common location for the
+rest of the run, so the enabled transitions of one component form a
+persistent set:
 
 * a component's variables are written only by its own threads, so no
   move of another component changes which values its reads can observe;
@@ -83,10 +100,20 @@ checks by executing random independent pairs in both orders.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.analysis.footprints import (
+    FP_EMPTY as _FP_EMPTY,
+    FP_TOP as _FP_TOP,
+    fp_conflict,
+    fp_union as _fp_union,
+    phase_footprint,
+)
+from repro.analysis.footprints import Footprint as _Footprint
 from repro.lang import ast as A
 from repro.lang.program import Program
+from repro.lang.walk import fold
 from repro.memory import actions as ACT
 from repro.obs import metrics as _metrics
 from repro.semantics.config import Config
@@ -96,6 +123,7 @@ from repro.semantics.reduce import (
     reduced_successors,
 )
 from repro.semantics.step import Transition
+from repro.util.cache import evict_half
 
 #: Independence verdicts.  ``STRONG`` — the two transitions commute to
 #: bit-identical configurations; ``CANONICAL`` — they commute up to the
@@ -105,20 +133,40 @@ DEPENDENT = "dependent"
 STRONG = "strong"
 CANONICAL = "canonical"
 
-#: Whole-continuation footprint: ``(reads, writes, top)`` over
-#: ``(component, variable)`` locations; ``top`` is the ⊤ element
-#: (may touch anything — ``MethodCall`` and unknown nodes).
-_Footprint = Tuple[FrozenSet, FrozenSet, bool]
+#: The footprint algebra lives in :mod:`repro.analysis.footprints`;
+#: ``footprints_conflict`` keeps its historical name here.
+footprints_conflict = fp_conflict
 
-_FP_EMPTY: _Footprint = (frozenset(), frozenset(), False)
-_FP_TOP: _Footprint = (frozenset(), frozenset(), True)
-
-#: Memoised footprints, keyed ``(node, in_lib)`` — AST nodes are
-#: immutable and loop unfoldings rebuild structurally-equal suffixes,
-#: so value-keyed memoisation hits across the exploration.  Bounded by
-#: the same crude flush as the step-layer summaries.
+#: Memoised whole-continuation footprints, keyed ``(node, in_lib)`` —
+#: AST nodes are immutable and loop unfoldings rebuild structurally-
+#: equal suffixes, so value-keyed memoisation hits across the
+#: exploration.  Bounded by oldest-half eviction (the shared
+#: :mod:`repro.util.cache` policy, matching the codec intern tables).
 _FOOTPRINTS: Dict[Tuple[A.Node, bool], _Footprint] = {}
 _FOOTPRINTS_MAX = 100_000
+
+
+def _fp_fold(node: Optional[A.Node], in_lib: bool, child_values) -> _Footprint:
+    if node is None:
+        return _FP_EMPTY
+    comp = "L" if in_lib else "C"
+    if isinstance(node, A.LocalAssign):
+        return _FP_EMPTY
+    if isinstance(node, A.Read):
+        return (frozenset(((comp, node.var),)), frozenset(), False)
+    if isinstance(node, A.Write):
+        return (frozenset(), frozenset(((comp, node.var),)), False)
+    if isinstance(node, (A.Cas, A.Fai)):
+        loc = frozenset(((comp, node.var),))
+        return (loc, loc, False)
+    if isinstance(node, A.MethodCall):
+        return _FP_TOP  # abstract methods have arbitrary footprints
+    # Seq/If/While/Labeled/LibBlock: union over children (a LibBlock's
+    # body was already folded with the library component flag).
+    acc: _Footprint = _FP_EMPTY
+    for value in child_values:
+        acc = _fp_union(acc, value)
+    return acc
 
 
 def thread_footprint(cmd: Optional[A.Node], in_lib: bool = False) -> _Footprint:
@@ -128,64 +176,63 @@ def thread_footprint(cmd: Optional[A.Node], in_lib: bool = False) -> _Footprint:
     their bodies; ``Cas``/``Fai`` both read and write their location;
     commands inside a ``LibBlock`` touch ``'L'`` locations.
     """
-    if cmd is None:
-        return _FP_EMPTY
-    key = (cmd, in_lib)
-    cached = _FOOTPRINTS.get(key)
-    if cached is not None:
-        return cached
-    comp = "L" if in_lib else "C"
-    if isinstance(cmd, A.LocalAssign):
-        fp: _Footprint = _FP_EMPTY
-    elif isinstance(cmd, A.Read):
-        fp = (frozenset(((comp, cmd.var),)), frozenset(), False)
-    elif isinstance(cmd, A.Write):
-        fp = (frozenset(), frozenset(((comp, cmd.var),)), False)
-    elif isinstance(cmd, (A.Cas, A.Fai)):
-        loc = frozenset(((comp, cmd.var),))
-        fp = (loc, loc, False)
-    elif isinstance(cmd, A.Seq):
-        fp = _fp_union(
-            thread_footprint(cmd.first, in_lib),
-            thread_footprint(cmd.second, in_lib),
+    return fold(
+        cmd, _fp_fold, in_lib=in_lib,
+        cache=_FOOTPRINTS, cache_max=_FOOTPRINTS_MAX,
+    )
+
+
+#: Which footprint feeds the conflict partition: ``"phase"`` (the
+#: flow-sensitive :func:`repro.analysis.phase_footprint`, the default)
+#: or ``"whole"`` (the continuation union above).
+_FOOTPRINT_MODE = "phase"
+FOOTPRINT_MODES = ("phase", "whole")
+
+
+def set_footprint_mode(mode: str) -> str:
+    """Select the partition footprint; returns the previous mode.
+
+    Used by the differential benchmark
+    (``benchmarks/test_bench_analysis.py``) to measure the phase
+    refinement against whole-continuation footprints.
+    """
+    global _FOOTPRINT_MODE
+    if mode not in FOOTPRINT_MODES:
+        raise ValueError(
+            f"unknown footprint mode {mode!r}; expected one of "
+            f"{', '.join(FOOTPRINT_MODES)}"
         )
-    elif isinstance(cmd, A.If):
-        fp = _fp_union(
-            thread_footprint(cmd.then_branch, in_lib),
-            thread_footprint(cmd.else_branch, in_lib),
-        )
-    elif isinstance(cmd, A.While):
-        fp = thread_footprint(cmd.body, in_lib)
-    elif isinstance(cmd, A.Labeled):
-        fp = thread_footprint(cmd.body, in_lib)
-    elif isinstance(cmd, A.LibBlock):
-        fp = thread_footprint(cmd.body, True)
-    else:  # MethodCall and anything unforeseen: ⊤.
-        fp = _FP_TOP
-    if len(_FOOTPRINTS) >= _FOOTPRINTS_MAX:
-        _FOOTPRINTS.clear()
-    _FOOTPRINTS[key] = fp
-    return fp
+    previous = _FOOTPRINT_MODE
+    _FOOTPRINT_MODE = mode
+    return previous
 
 
-def _fp_union(a: _Footprint, b: _Footprint) -> _Footprint:
-    if a[2] or b[2]:
-        return _FP_TOP
-    if a is _FP_EMPTY:
-        return b
-    if b is _FP_EMPTY:
-        return a
-    return a[0] | b[0], a[1] | b[1], False
+#: Per-program statically-disjoint thread pairs, keyed ``id(program)``
+#: with a weakref guard against id reuse.  Whole-body footprints bound
+#: every reachable continuation's footprint, so a pair disjoint here is
+#: disjoint forever — its conflict test is skipped in every partition.
+_STATIC_DISJOINT: Dict[int, Tuple] = {}
+_STATIC_DISJOINT_MAX = 1024
 
 
-def footprints_conflict(a: _Footprint, b: _Footprint) -> bool:
-    """Whether two footprints may touch a common location with at
-    least one write (⊤ conflicts with everything)."""
-    if a[2] or b[2]:
-        return True
-    ra, wa, _ = a
-    rb, wb, _ = b
-    return bool(wa & (rb | wb)) or bool(wb & ra)
+def _static_disjoint_pairs(program: Program) -> FrozenSet:
+    hit = _STATIC_DISJOINT.get(id(program))
+    if hit is not None:
+        ref, pairs = hit
+        if ref() is program:
+            return pairs
+    fps = {t: thread_footprint(program.body_of(t)) for t in program.tids}
+    tids = program.tids
+    pairs = frozenset(
+        (t, u)
+        for i, t in enumerate(tids)
+        for u in tids[i + 1:]
+        if not footprints_conflict(fps[t], fps[u])
+    )
+    if len(_STATIC_DISJOINT) >= _STATIC_DISJOINT_MAX:
+        evict_half(_STATIC_DISJOINT)
+    _STATIC_DISJOINT[id(program)] = (weakref.ref(program), pairs)
+    return pairs
 
 
 def independence(a: Transition, b: Transition) -> str:
@@ -209,9 +256,27 @@ def independence(a: Transition, b: Transition) -> str:
 
 
 def _partition(program: Program, cfg: Config) -> List[List[str]]:
-    """Conflict-graph connected components over the live threads."""
+    """Conflict-graph connected components over the live threads.
+
+    Footprints are computed lazily per thread: a pair on the static-
+    disjointness fast path never evaluates them at all, and phase mode
+    only interprets the continuations actually compared.
+    """
     live = [t for t in program.tids if cfg.cmds[t] is not None]
-    fps = {t: thread_footprint(cfg.cmds[t]) for t in live}
+    disjoint = _static_disjoint_pairs(program)
+    phase = _FOOTPRINT_MODE == "phase"
+    fps: Dict[str, _Footprint] = {}
+
+    def fp_of(t: str) -> _Footprint:
+        fp = fps.get(t)
+        if fp is None:
+            if phase:
+                fp = phase_footprint(cfg.cmds[t], cfg.locals[t])
+            else:
+                fp = thread_footprint(cfg.cmds[t])
+            fps[t] = fp
+        return fp
+
     parent = {t: t for t in live}
 
     def find(x: str) -> str:
@@ -220,12 +285,18 @@ def _partition(program: Program, cfg: Config) -> List[List[str]]:
             x = parent[x]
         return x
 
+    skipped = 0
     for i, t in enumerate(live):
         for u in live[i + 1:]:
-            if footprints_conflict(fps[t], fps[u]):
+            if (t, u) in disjoint:
+                skipped += 1
+                continue
+            if footprints_conflict(fp_of(t), fp_of(u)):
                 rt, ru = find(t), find(u)
                 if rt != ru:
                     parent[ru] = rt
+    if skipped and _metrics._ACTIVE is not None:
+        _metrics._ACTIVE.inc("reduce.dpor.static_disjoint", skipped)
     groups: Dict[str, List[str]] = {}
     for t in live:
         groups.setdefault(find(t), []).append(t)
@@ -362,5 +433,6 @@ DPOR_STRATEGY = ReductionStrategy(
         "reduce.covering_pruned",
         "reduce.dpor.sleep_blocked",
         "reduce.dpor.persistent_expanded",
+        "reduce.dpor.static_disjoint",
     ),
 )

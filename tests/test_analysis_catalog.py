@@ -1,0 +1,82 @@
+"""Catalog-wide static-analysis contracts (issue satellite: the whole
+litmus catalog and examples corpus is lint-clean or explicitly
+annotated).
+
+Three contracts:
+
+* every catalog entry's analyser verdict equals its committed
+  ``expect_lint`` annotation — a behaviour pin, so detector changes
+  must consciously re-annotate;
+* the differential soundness direction: whenever the static detector
+  reports no race, exhaustive exploration finds no reachable
+  unsynchronised conflict either (the opposite direction may disagree —
+  that conservatism is why races are warnings, never errors);
+* no program anywhere in the shipped corpus (catalog, figures,
+  examples) carries an error-severity finding.
+"""
+
+import pytest
+
+from repro.__main__ import lint_targets
+from repro.analysis import analyse_program, operational_races
+from repro.analysis.races import RACE
+from repro.litmus.catalog import LITMUS_TESTS
+
+_BY_NAME = {t.name: t for t in LITMUS_TESTS}
+
+
+class TestCatalogAnnotations:
+    @pytest.mark.parametrize("name", sorted(_BY_NAME))
+    def test_expect_lint_matches_analyser(self, name):
+        test = _BY_NAME[name]
+        report = analyse_program(test.build())
+        assert report.codes() == test.expect_lint, (
+            f"{name}: analyser found {sorted(report.codes())}, catalog "
+            f"pins {sorted(test.expect_lint)} — re-annotate expect_lint "
+            "if the detector change is intentional"
+        )
+
+    def test_some_entries_are_clean(self):
+        # Guard against an annotation sweep that blankets everything.
+        clean = [t.name for t in LITMUS_TESTS if not t.expect_lint]
+        assert len(clean) >= 10
+
+    def test_awaiting_mp_is_clean_and_relaxed_mp_is_racy(self):
+        # MP-await-RA spins on the flag, so the data read is ordered;
+        # MP-RA reads the flag once — if it misses, the data read runs
+        # concurrently with the producer's write, a genuine race.
+        assert _BY_NAME["MP-await-RA"].expect_lint == frozenset()
+        assert RACE in _BY_NAME["MP-RA"].expect_lint
+        assert RACE in _BY_NAME["MP-relaxed"].expect_lint
+
+
+class TestDifferentialAgreement:
+    @pytest.mark.parametrize("name", sorted(_BY_NAME))
+    def test_static_race_free_implies_operational_race_free(self, name):
+        test = _BY_NAME[name]
+        if RACE in test.expect_lint:
+            pytest.skip("statically racy: conservatism allowed")
+        program = test.build()
+        report = analyse_program(program)
+        assert RACE not in report.codes()
+        assert operational_races(program) == [], (
+            f"{name}: static detector says race-free but exploration "
+            "reaches an unsynchronised conflict — the detector is "
+            "unsound on this shape"
+        )
+
+
+class TestCorpusSeverity:
+    def test_no_error_findings_anywhere(self):
+        offenders = {}
+        for label, program in lint_targets():
+            report = analyse_program(program)
+            if report.errors:
+                offenders[label] = [d.format() for d in report.errors]
+        assert not offenders, offenders
+
+    def test_corpus_includes_examples_and_figures(self):
+        labels = [label for label, _ in lint_targets()]
+        assert any(label.startswith("examples/") for label in labels)
+        assert any(label.startswith("figures/") for label in labels)
+        assert len(labels) >= 35

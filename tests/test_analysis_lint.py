@@ -1,0 +1,347 @@
+"""Tests for the lint pass (:mod:`repro.analysis.lint`).
+
+Each code gets a positive (finding fires) and a negative (clean
+program) case; severity and thread attribution are pinned where the
+engine's ``strict`` policy depends on them.
+"""
+
+from repro.analysis import ERROR, WARNING, lint_program
+from repro.analysis.lint import (
+    DEAD_WRITE,
+    DUPLICATE_LABEL,
+    REGISTER_SHADOW,
+    SILENT_LOOP,
+    UNBOUND_REGISTER,
+    UNREACHABLE_BRANCH,
+)
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.lang.program import Program
+
+
+def _program(threads, **kwargs):
+    return Program(threads=threads, **kwargs)
+
+
+def _codes(program):
+    return lint_program(program).codes()
+
+
+def _diags(program, code):
+    return [d for d in lint_program(program) if d.code == code]
+
+
+class TestUnboundRegister:
+    def test_fires_on_unseeded_read(self):
+        p = _program(
+            {"1": A.Write("x", Reg("r"))},
+            client_vars={"x": 0},
+        )
+        (d,) = _diags(p, UNBOUND_REGISTER)
+        assert d.severity == ERROR
+        assert d.tid == "1"
+        assert "'r'" in d.message
+
+    def test_quiet_when_assigned_anywhere_in_thread(self):
+        # The check is flow-insensitive on purpose: assignment anywhere
+        # in the thread (even later in source order) silences it.
+        p = _program(
+            {
+                "1": A.seq(
+                    A.Write("x", Reg("r")),
+                    A.LocalAssign("r", Lit(1)),
+                )
+            },
+            client_vars={"x": 0},
+        )
+        assert UNBOUND_REGISTER not in _codes(p)
+
+    def test_quiet_when_seeded_by_init_locals(self):
+        p = _program(
+            {"1": A.Write("x", Reg("m"))},
+            client_vars={"x": 0},
+            init_locals={"1": {"m": 7}},
+        )
+        assert UNBOUND_REGISTER not in _codes(p)
+
+    def test_reported_once_per_register(self):
+        p = _program(
+            {"1": A.seq(A.Write("x", Reg("r")), A.Write("x", Reg("r")))},
+            client_vars={"x": 0},
+        )
+        assert len(_diags(p, UNBOUND_REGISTER)) == 1
+
+
+class TestSilentLoop:
+    def test_fires_on_pure_spin(self):
+        p = _program(
+            {
+                "1": A.seq(
+                    A.Read("r", "f"),
+                    A.While(Reg("r").eq(0), A.LocalAssign("t", Lit(1))),
+                )
+            },
+            client_vars={"f": 0},
+        )
+        (d,) = _diags(p, SILENT_LOOP)
+        assert d.severity == ERROR
+
+    def test_quiet_when_body_rereads_condition(self):
+        p = _program(
+            {
+                "1": A.seq(
+                    A.Read("r", "f"),
+                    A.While(Reg("r").eq(0), A.Read("r", "f", acquire=True)),
+                ),
+                "2": A.Write("f", Lit(1), release=True),
+            },
+            client_vars={"f": 0},
+        )
+        assert SILENT_LOOP not in _codes(p)
+
+    def test_quiet_when_body_has_visible_access(self):
+        # A body that touches a global is a fair (if odd) busy loop.
+        p = _program(
+            {
+                "1": A.While(Reg("m").eq(0), A.Write("x", Lit(1))),
+                "2": A.Read("r", "x"),
+            },
+            client_vars={"x": 0},
+            init_locals={"1": {"m": 1}},
+        )
+        assert SILENT_LOOP not in _codes(p)
+
+
+class TestDeadWrite:
+    def test_fires_on_never_read_global(self):
+        p = _program(
+            {"1": A.Write("x", Lit(1))},
+            client_vars={"x": 0},
+        )
+        (d,) = _diags(p, DEAD_WRITE)
+        assert d.severity == WARNING
+        assert "'x'" in d.message
+
+    def test_quiet_when_read_by_another_thread(self):
+        p = _program(
+            {"1": A.Write("x", Lit(1)), "2": A.Read("r", "x")},
+            client_vars={"x": 0},
+        )
+        assert DEAD_WRITE not in _codes(p)
+
+    def test_updates_count_as_reads(self):
+        p = _program(
+            {"1": A.Fai("r", "c")},
+            client_vars={"c": 0},
+        )
+        assert DEAD_WRITE not in _codes(p)
+
+    def test_component_distinguished(self):
+        # A client write to 'x' is not kept alive by a read of the same
+        # name occurring in *library* code — the census keys on
+        # (component, variable), not the bare name.
+        p = _program(
+            {
+                "1": A.seq(
+                    A.Write("x", Lit(1)),
+                    A.LibBlock(
+                        A.Read("r", "x"), public_regs=frozenset({"r"})
+                    ),
+                )
+            },
+            client_vars={"x": 0},
+        )
+        codes = [d.code for d in lint_program(p)]
+        assert DEAD_WRITE in codes
+
+
+class TestUnreachableBranch:
+    def test_constant_if(self):
+        p = _program(
+            {
+                "1": A.seq(
+                    A.LocalAssign("m", Lit(1)),
+                    A.If(
+                        Reg("m").eq(0),
+                        A.Write("x", Lit(1)),
+                        A.Write("y", Lit(1)),
+                    ),
+                ),
+                "2": A.seq(A.Read("a", "x"), A.Read("b", "y")),
+            },
+            client_vars={"x": 0, "y": 0},
+        )
+        (d,) = _diags(p, UNREACHABLE_BRANCH)
+        assert "then" in d.message
+
+    def test_init_locals_feed_the_flow(self):
+        p = _program(
+            {
+                "1": A.If(Reg("m").eq(0), A.Write("x", Lit(1)), None),
+                "2": A.Read("r", "x"),
+            },
+            client_vars={"x": 0},
+            init_locals={"1": {"m": 0}},
+        )
+        # Condition is constant-True but the dead arm is None: nothing
+        # to report.
+        assert UNREACHABLE_BRANCH not in _codes(p)
+
+    def test_always_false_while(self):
+        p = _program(
+            {
+                "1": A.While(Reg("m").eq(0), A.Write("x", Lit(1))),
+                "2": A.Read("r", "x"),
+            },
+            client_vars={"x": 0},
+            init_locals={"1": {"m": 1}},
+        )
+        (d,) = _diags(p, UNREACHABLE_BRANCH)
+        assert "always False" in d.message
+
+    def test_unknown_condition_is_quiet(self):
+        p = _program(
+            {
+                "1": A.seq(
+                    A.Read("m", "x"),
+                    A.If(
+                        Reg("m").eq(0),
+                        A.Write("y", Lit(1)),
+                        A.Write("y", Lit(2)),
+                    ),
+                ),
+                "2": A.Read("r", "y"),
+            },
+            client_vars={"x": 0, "y": 0},
+        )
+        assert UNREACHABLE_BRANCH not in _codes(p)
+
+    def test_read_kills_knowledge(self):
+        # A Read into the mode register makes the branch non-constant.
+        p = _program(
+            {
+                "1": A.seq(
+                    A.Read("m", "x"),
+                    A.If(
+                        Reg("m").eq(0),
+                        A.Write("y", Lit(1)),
+                        A.Write("y", Lit(2)),
+                    ),
+                ),
+                "2": A.Read("r", "y"),
+            },
+            client_vars={"x": 0, "y": 0},
+            init_locals={"1": {"m": 0}},
+        )
+        assert UNREACHABLE_BRANCH not in _codes(p)
+
+
+class TestDuplicateLabel:
+    def test_fires_within_thread(self):
+        p = _program(
+            {
+                "1": A.seq(
+                    A.Labeled(1, A.Write("x", Lit(1))),
+                    A.Labeled(1, A.Write("x", Lit(2))),
+                ),
+                "2": A.Read("r", "x"),
+            },
+            client_vars={"x": 0},
+        )
+        (d,) = _diags(p, DUPLICATE_LABEL)
+        assert d.severity == WARNING
+
+    def test_same_label_across_threads_is_fine(self):
+        p = _program(
+            {
+                "1": A.Labeled(1, A.Write("x", Lit(1))),
+                "2": A.Labeled(1, A.Read("r", "x")),
+            },
+            client_vars={"x": 0},
+        )
+        assert DUPLICATE_LABEL not in _codes(p)
+
+    def test_reported_once_per_label(self):
+        p = _program(
+            {
+                "1": A.seq(
+                    A.Labeled(1, A.Write("x", Lit(1))),
+                    A.seq(
+                        A.Labeled(1, A.Write("x", Lit(2))),
+                        A.Labeled(1, A.Write("x", Lit(3))),
+                    ),
+                ),
+                "2": A.Read("r", "x"),
+            },
+            client_vars={"x": 0},
+        )
+        assert len(_diags(p, DUPLICATE_LABEL)) == 1
+
+
+class TestRegisterShadow:
+    def test_fires_on_private_overlap(self):
+        p = _program(
+            {
+                "1": A.seq(
+                    A.LocalAssign("t", Lit(9)),
+                    A.LibBlock(
+                        A.Read("t", "l", acquire=True),
+                        public_regs=frozenset(),
+                    ),
+                ),
+                "2": A.LibBlock(
+                    A.Write("l", Lit(1), release=True),
+                    public_regs=frozenset(),
+                ),
+            },
+            lib_vars={"l": 0},
+        )
+        (d,) = _diags(p, REGISTER_SHADOW)
+        assert "'t'" in d.message
+
+    def test_public_registers_are_not_shadowing(self):
+        p = _program(
+            {
+                "1": A.seq(
+                    A.LocalAssign("t", Lit(9)),
+                    A.LibBlock(
+                        A.Read("t", "l", acquire=True),
+                        public_regs=frozenset({"t"}),
+                    ),
+                ),
+                "2": A.LibBlock(
+                    A.Write("l", Lit(1), release=True),
+                    public_regs=frozenset(),
+                ),
+            },
+            lib_vars={"l": 0},
+        )
+        assert REGISTER_SHADOW not in _codes(p)
+
+
+class TestReportShape:
+    def test_clean_program_is_clean(self):
+        p = _program(
+            {
+                "1": A.Write("x", Lit(1), release=True),
+                "2": A.Read("r", "x", acquire=True),
+            },
+            client_vars={"x": 0},
+        )
+        report = lint_program(p)
+        assert report.clean()
+        assert report.codes() == frozenset()
+
+    def test_errors_sort_before_warnings(self):
+        p = _program(
+            {
+                "1": A.seq(
+                    A.Write("x", Reg("nope")),
+                    A.Write("dead", Lit(1)),
+                )
+            },
+            client_vars={"x": 0, "dead": 0},
+        )
+        report = lint_program(p)
+        assert [d.severity for d in report][:1] == [ERROR]
+        assert {d.code for d in report} == {UNBOUND_REGISTER, DEAD_WRITE}

@@ -281,7 +281,7 @@ class TestTraceFlag:
         # Satellite: the meta block makes archived reports
         # self-describing.
         meta = data["meta"]
-        assert meta["schema"] == 2
+        assert meta["schema"] == 3
         assert meta["python"] and meta["platform"]
         assert meta["cpu_count"] >= 1
         assert meta["workers"] == 1
@@ -295,3 +295,54 @@ class TestTraceFlag:
         )
         figures_job = next(j for j in data["jobs"] if j["name"] == "figures")
         assert figures_job["metrics"] is None
+
+
+class TestLintCommand:
+    def test_exit_zero_on_shipped_corpus(self, capsys):
+        # Everything in the repo lints without error-severity findings.
+        assert main(["repro", "lint"]) == 0
+        out = capsys.readouterr().out
+        assert "programs analysed" in out
+        assert "0 error(s)" in out
+
+    def test_lists_every_target(self, capsys):
+        main(["repro", "lint"])
+        out = capsys.readouterr().out
+        assert "litmus/MP-relaxed" in out
+        assert "figures/fig1" in out
+        assert "examples/" in out
+
+    def test_quiet_hides_clean_lines(self, capsys):
+        main(["repro", "lint", "--quiet"])
+        quiet = capsys.readouterr().out
+        main(["repro", "lint"])
+        full = capsys.readouterr().out
+        assert len(quiet.splitlines()) < len(full.splitlines())
+        assert "programs analysed" in quiet
+
+    def test_findings_show_codes(self, capsys):
+        main(["repro", "lint"])
+        out = capsys.readouterr().out
+        # The relaxed MP shape is annotated racy in the catalog and the
+        # detector prints the code inline.
+        assert "race" in out
+
+    def test_rejects_foreign_flags(self, capsys):
+        assert main(["repro", "lint", "--reduction", "off"]) == 2
+        assert "not supported" in capsys.readouterr().out
+
+
+class TestAnalysisFlag:
+    def test_litmus_accepts_warn(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert main(["repro", "litmus", "--analysis", "warn", "--quiet"]) == 0
+        assert "ALL CHECKS PASS" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self, capsys):
+        assert main(["repro", "litmus", "--analysis", "bogus"]) == 2
+        out = capsys.readouterr().out
+        assert "analysis" in out
+
+    def test_figures_reject_analysis(self, capsys):
+        assert main(["repro", "figures", "--analysis", "warn"]) == 2
+        assert "not supported" in capsys.readouterr().out

@@ -1,0 +1,164 @@
+"""Engine static-analysis policy tests (``analysis="strict"|"warn"|"off"``)."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.engine.core import ExplorationEngine
+from repro.lang import ast as A
+from repro.lang.expr import Lit, Reg
+from repro.lang.program import Program
+from repro.obs.metrics import Metrics
+from repro.obs.trace import TraceWriter
+from repro.util.errors import VerificationError
+
+
+def _clean_program():
+    return Program(
+        threads={
+            "1": A.Write("x", Lit(1), release=True),
+            "2": A.Read("r", "x", acquire=True),
+        },
+        client_vars={"x": 0},
+    )
+
+
+def _warning_program():
+    # Racy relaxed conflict plus a dead write: warnings only.
+    return Program(
+        threads={
+            "1": A.seq(A.Write("x", Lit(1)), A.Write("dead", Lit(1))),
+            "2": A.Read("r", "x"),
+        },
+        client_vars={"x": 0, "dead": 0},
+    )
+
+
+def _error_program():
+    # A silent ε-divergent loop: error severity, yet still explorable
+    # (the unfolded loop state-cycles, so exploration stays finite).
+    return Program(
+        threads={
+            "1": A.seq(
+                A.LocalAssign("m", Lit(0)),
+                A.While(Reg("m").eq(0), A.LocalAssign("t", Lit(1))),
+            )
+        },
+    )
+
+
+class TestPolicyValidation:
+    def test_bad_policy_at_init(self):
+        with pytest.raises(ValueError):
+            ExplorationEngine(analysis="bogus")
+
+    def test_bad_policy_per_call(self):
+        engine = ExplorationEngine()
+        with pytest.raises(ValueError):
+            engine.explore(_clean_program(), analysis="bogus")
+
+    def test_default_is_off(self):
+        assert ExplorationEngine().analysis == "off"
+
+
+class TestOffPolicy:
+    def test_no_analysis_runs(self):
+        metrics = Metrics()
+        engine = ExplorationEngine(metrics=metrics)
+        result = engine.explore(_error_program())
+        assert result.state_count > 0 or result.stuck is not None
+        assert "analysis.runs" not in metrics.counters
+
+
+class TestWarnPolicy:
+    @pytest.fixture(autouse=True)
+    def _propagate_repro_logs(self, monkeypatch):
+        # The CLI installs its own handler on the "repro" logger and
+        # stops propagation; caplog listens on the root logger, so
+        # restore propagation for these assertions.
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+
+    def test_findings_logged_but_exploration_proceeds(self, caplog):
+        engine = ExplorationEngine(analysis="warn")
+        with caplog.at_level(logging.WARNING, logger="repro.analysis"):
+            result = engine.explore(_warning_program())
+        assert result.terminals
+        messages = [r.message for r in caplog.records]
+        assert any("race" in m for m in messages)
+        assert any("dead-write" in m for m in messages)
+
+    def test_errors_do_not_block_under_warn(self, caplog):
+        engine = ExplorationEngine(analysis="warn")
+        with caplog.at_level(logging.ERROR, logger="repro.analysis"):
+            engine.explore(_error_program())
+        assert any("silent-loop" in r.message for r in caplog.records)
+
+    def test_metrics_counters(self):
+        metrics = Metrics()
+        engine = ExplorationEngine(analysis="warn", metrics=metrics)
+        engine.explore(_warning_program())
+        assert metrics.counters["analysis.runs"] == 1
+        assert metrics.counters["analysis.warnings"] >= 2
+        assert "analysis.errors" not in metrics.counters
+
+    def test_trace_event_emitted(self):
+        sink = io.StringIO()
+        engine = ExplorationEngine(
+            analysis="warn", trace=TraceWriter(sink)
+        )
+        engine.explore(_warning_program())
+        events = [json.loads(line) for line in sink.getvalue().splitlines()]
+        (report,) = [e for e in events if e["ev"] == "analysis.report"]
+        assert report["policy"] == "warn"
+        assert report["errors"] == 0
+        assert report["warnings"] >= 2
+        # The analysis runs before exploration starts.
+        kinds = [e["ev"] for e in events]
+        assert kinds.index("analysis.report") < kinds.index("explore.start")
+
+
+class TestStrictPolicy:
+    def test_clean_program_explores(self):
+        engine = ExplorationEngine(analysis="strict")
+        result = engine.explore(_clean_program())
+        assert result.terminals
+
+    def test_warnings_alone_do_not_block(self):
+        engine = ExplorationEngine(analysis="strict")
+        result = engine.explore(_warning_program())
+        assert result.terminals
+
+    def test_errors_refuse_exploration(self):
+        engine = ExplorationEngine(analysis="strict")
+        with pytest.raises(VerificationError) as exc:
+            engine.explore(_error_program())
+        assert "silent-loop" in str(exc.value)
+        assert "analysis='strict'" in str(exc.value)
+
+    def test_error_metrics_still_counted(self):
+        metrics = Metrics()
+        engine = ExplorationEngine(analysis="strict", metrics=metrics)
+        with pytest.raises(VerificationError):
+            engine.explore(_error_program())
+        assert metrics.counters["analysis.errors"] >= 1
+
+
+class TestPerCallOverride:
+    def test_call_tightens_engine_default(self):
+        engine = ExplorationEngine()  # off
+        with pytest.raises(VerificationError):
+            engine.explore(_error_program(), analysis="strict")
+
+    def test_call_relaxes_engine_default(self):
+        engine = ExplorationEngine(analysis="strict")
+        result = engine.explore(_error_program(), analysis="off")
+        assert result is not None
+
+    def test_override_does_not_stick(self):
+        engine = ExplorationEngine(analysis="strict")
+        engine.explore(_error_program(), analysis="off")
+        assert engine.analysis == "strict"
+        with pytest.raises(VerificationError):
+            engine.explore(_error_program())

@@ -57,7 +57,7 @@ class TestRunBatch:
         assert isinstance(data["jobs"][0]["elapsed"], float)
 
     def test_meta_records_per_job_reduction(self, tmp_path, monkeypatch):
-        """The schema-2 meta block states each job's *effective*
+        """The meta block states each job's *effective*
         reduction policy: the batch-level policy applies to the litmus
         battery only — figures/refinements always explore unreduced."""
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
@@ -69,7 +69,7 @@ class TestRunBatch:
         )
         assert report.ok
         meta = json.loads(out.read_text())["meta"]
-        assert meta["schema"] == 2
+        assert meta["schema"] == 3
         assert meta["reduction"] == "dpor"
         assert meta["jobs"] == {
             "litmus": {"reduction": "dpor"},
@@ -126,3 +126,48 @@ class TestReportShapes:
             elapsed=0.1,
         )
         assert json.loads(report.to_json())["jobs"][0]["ok"] is True
+
+
+class TestDiagnosticsBlock:
+    def test_litmus_job_carries_diagnostics(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.litmus.catalog import LITMUS_TESTS
+
+        result = run_job("litmus")
+        diag = result.diagnostics
+        assert diag is not None
+        assert diag["analysed"] == len(LITMUS_TESTS)
+        assert diag["errors"] == 0  # corpus contract: warnings only
+        assert diag["warnings"] > 0
+        # by_test maps annotated entries to their sorted finding codes.
+        assert diag["by_test"]["MP-relaxed"] == ["race"]
+        assert "MP-await-RA" not in diag["by_test"]
+
+    def test_by_test_matches_catalog_annotations(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.litmus.catalog import LITMUS_TESTS
+
+        diag = run_job("litmus").diagnostics
+        expected = {
+            t.name: sorted(t.expect_lint)
+            for t in LITMUS_TESTS
+            if t.expect_lint
+        }
+        assert diag["by_test"] == expected
+
+    def test_other_jobs_have_none(self):
+        result = run_job("figures", use_cache=False)
+        assert result.diagnostics is None
+        assert "diagnostics" not in result.to_dict() or result.to_dict()[
+            "diagnostics"
+        ] is None
+
+    def test_diagnostics_survive_json_round_trip(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        result = run_job("litmus")
+        encoded = json.loads(json.dumps(result.to_dict()))
+        assert encoded["diagnostics"]["analysed"] > 0

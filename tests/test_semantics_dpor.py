@@ -416,3 +416,160 @@ class TestOracleTable:
         assert pairs
         for a, b in pairs:
             assert independence(a, b) == DEPENDENT
+
+# -- footprint modes, static disjointness, cache eviction --------------------
+
+from repro.engine.core import explore_sequential  # noqa: E402
+from repro.obs.metrics import Metrics, activate  # noqa: E402
+from repro.semantics import dpor as dpor_mod  # noqa: E402
+from repro.semantics.dpor import (  # noqa: E402
+    FOOTPRINT_MODES,
+    _static_disjoint_pairs,
+    set_footprint_mode,
+)
+
+
+def _modal_pair():
+    """Two threads on disjoint variables whose statically-dead branch
+    arm (mode register preset by ``init_locals``) touches a shared
+    ``z`` — whole-continuation footprints join them, phase-sensitive
+    ones split them."""
+
+    def body(var):
+        return A.seq(
+            A.Write(var, Lit(1)),
+            A.If(Reg("m").eq(0), A.Write(var, Lit(2)), A.Write("z", Lit(1))),
+        )
+
+    return Program(
+        threads={"1": Thread(body("x")), "2": Thread(body("y"))},
+        client_vars={"x": 0, "y": 0, "z": 0},
+        init_locals={"1": {"m": 0}, "2": {"m": 0}},
+    )
+
+
+class TestFootprintMode:
+    def test_default_is_phase_and_previous_is_returned(self):
+        previous = set_footprint_mode("whole")
+        try:
+            assert previous == "phase"
+            assert set_footprint_mode("phase") == "whole"
+        finally:
+            set_footprint_mode("phase")
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            set_footprint_mode("bogus")
+        # A rejected call leaves the mode untouched.
+        assert set_footprint_mode("phase") == "phase"
+        assert set(FOOTPRINT_MODES) == {"phase", "whole"}
+
+    def test_phase_refines_the_partition(self):
+        program = _modal_pair()
+        cfg = close_config(program, initial_config(program))
+        previous = set_footprint_mode("whole")
+        try:
+            whole_groups = _partition(program, cfg)
+            set_footprint_mode("phase")
+            phase_groups = _partition(program, cfg)
+        finally:
+            set_footprint_mode(previous)
+        assert len(whole_groups) == 1  # dead arm's z joins the threads
+        assert sorted(sorted(g) for g in phase_groups) == [["1"], ["2"]]
+
+    def test_modes_agree_on_terminals(self):
+        program = _modal_pair()
+
+        def run(mode):
+            previous = set_footprint_mode(mode)
+            try:
+                return explore_sequential(program, reduction="dpor")
+            finally:
+                set_footprint_mode(previous)
+
+        whole, phase = run("whole"), run("phase")
+
+        def valuations(result):
+            return {
+                tuple(
+                    sorted(
+                        (tid, ls.items_sorted())
+                        for tid, ls in cfg.locals.items()
+                    )
+                )
+                for cfg in result.terminals
+            }
+
+        assert valuations(whole) == valuations(phase)
+        assert phase.state_count <= whole.state_count
+
+
+class TestStaticDisjoint:
+    def test_detects_disjoint_pairs(self):
+        program = Program(
+            threads={
+                "1": Thread(A.Write("x", Lit(1))),
+                "2": Thread(A.Write("y", Lit(1))),
+                "3": Thread(A.Read("r1", "x")),
+            },
+            client_vars={"x": 0, "y": 0},
+        )
+        pairs = _static_disjoint_pairs(program)
+        assert ("1", "2") in pairs and ("2", "3") in pairs
+        assert ("1", "3") not in pairs
+
+    def test_cached_per_program_object(self):
+        program = _two_disjoint_pairs()
+        first = _static_disjoint_pairs(program)
+        assert _static_disjoint_pairs(program) is first
+
+    def test_conflicting_program_has_no_fast_path(self):
+        program = Program(
+            threads={
+                "1": Thread(A.Write("x", Lit(1))),
+                "2": Thread(A.Read("r1", "x")),
+            },
+            client_vars={"x": 0},
+        )
+        assert _static_disjoint_pairs(program) == frozenset()
+
+    def test_skip_counter_reported_to_active_metrics(self):
+        program = _two_disjoint_pairs()
+        cfg = close_config(program, initial_config(program))
+        collected = Metrics()
+        previous = activate(collected)
+        try:
+            _partition(program, cfg)
+        finally:
+            activate(previous)
+        assert collected.counters.get("reduce.dpor.static_disjoint", 0) >= 1
+
+    def test_strategy_declares_the_metric(self):
+        strat = get_strategy("dpor")
+        assert "reduce.dpor.static_disjoint" in strat.metric_names
+
+
+class TestFootprintCacheEviction:
+    """Satellite regression: the memo table sheds its *oldest half* at
+    the bound instead of clearing wholesale — the newest entries (the
+    live exploration's working set) must survive an overflow."""
+
+    def test_oldest_half_evicted_newest_survive(self, monkeypatch):
+        monkeypatch.setattr(dpor_mod, "_FOOTPRINTS", {})
+        monkeypatch.setattr(dpor_mod, "_FOOTPRINTS_MAX", 8)
+        nodes = [A.Write(f"v{i}", Lit(i)) for i in range(9)]
+        for node in nodes[:8]:
+            thread_footprint(node)
+        assert len(dpor_mod._FOOTPRINTS) == 8
+        thread_footprint(nodes[8])  # overflow triggers eviction
+        kept = {node.var for node, _lib in dpor_mod._FOOTPRINTS}
+        assert kept == {"v4", "v5", "v6", "v7", "v8"}
+
+    def test_survivors_still_hit(self, monkeypatch):
+        monkeypatch.setattr(dpor_mod, "_FOOTPRINTS", {})
+        monkeypatch.setattr(dpor_mod, "_FOOTPRINTS_MAX", 4)
+        nodes = [A.Write(f"v{i}", Lit(i)) for i in range(5)]
+        for node in nodes:
+            thread_footprint(node)
+        survivor_fp = dpor_mod._FOOTPRINTS[(nodes[4], False)]
+        assert thread_footprint(nodes[4]) is survivor_fp
