@@ -3,16 +3,61 @@
 Every benchmark records one or more rows via the ``record_row`` fixture;
 at the end of the session the rows are printed as the reproduction
 table — the analogue of the paper's per-figure/lemma results.
+
+``pytest --bench-update`` regenerates the committed ``BENCH_*.json``
+baselines: it sets ``REPRO_BENCH_WRITE_BASELINE=1`` (the env flag every
+benchmark's write path keys on) for the session, and refuses to run on
+a dirty git tree so a regenerated baseline is always attributable to
+one clean commit.
 """
 
 from __future__ import annotations
 
+import os
+import subprocess
 from typing import List, Tuple
 
 _ROWS: List[Tuple[str, str, str, str]] = []
 
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-update",
+        action="store_true",
+        default=False,
+        help=(
+            "regenerate the committed BENCH_*.json baselines (sets "
+            "REPRO_BENCH_WRITE_BASELINE=1; refuses on a dirty git tree)"
+        ),
+    )
+
+
+def pytest_configure(config):
+    if not config.getoption("--bench-update"):
+        return
+    try:
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        ).stdout.strip()
+    except Exception as exc:
+        raise pytest.UsageError(
+            f"--bench-update could not check the git tree: {exc}"
+        )
+    if dirty:
+        raise pytest.UsageError(
+            "--bench-update refuses to regenerate baselines on a dirty "
+            "git tree (a baseline must be attributable to one commit); "
+            "commit or stash first:\n" + dirty
+        )
+    os.environ["REPRO_BENCH_WRITE_BASELINE"] = "1"
 
 
 @pytest.fixture()

@@ -34,6 +34,14 @@ Options:
   works) | ``queue`` (master-routed blobs, the portable fallback);
   also via ``REPRO_TRANSPORT``.  Pure performance — results are
   identical;
+* ``--codec C``     — pipeline batch wire format: ``flat``
+  (pickle-free struct-packed v2, the default) | ``pickle`` (the v1
+  reference codec); also via ``REPRO_CODEC``.  Pure performance —
+  results are identical;
+* ``--profile PATH`` — dump cProfile stats of the exploration hot path
+  to PATH (sets ``REPRO_PROFILE``; with ``--workers N>1`` each
+  pipeline worker dumps ``PATH.w<wid>`` and the master merges them
+  into PATH);
 * ``--strategy S``  — frontier strategy ``bfs`` | ``dfs`` |
   ``swarm[:seed]`` (sequential engine only);
 * ``--reduction R`` — state-space reduction policy (any name in the
@@ -104,6 +112,7 @@ def _make_engine(options: Optional[dict] = None):
         reduction=options.get("reduction", "closure"),
         backend=options.get("backend", "pipeline"),
         transport=options.get("transport"),
+        codec=options.get("codec"),
         metrics=Metrics(),
         trace=_make_trace(options),
         progress=None if quiet else Progress(),
@@ -256,6 +265,7 @@ def run_refine(options: Optional[dict] = None) -> bool:
             workers=options.get("workers", 1),
             backend=options.get("backend", "pipeline"),
             transport=options.get("transport"),
+            codec=options.get("codec"),
         )
     ok = True
     for fill, lib_vars in (
@@ -469,15 +479,17 @@ def run_batch_cmd(options: Optional[dict] = None) -> bool:
 _COMMAND_FLAGS = {
     "litmus": {
         "workers", "strategy", "no_cache", "reduction", "backend",
-        "transport", "trace", "quiet", "verbose", "analysis",
+        "transport", "codec", "profile", "trace", "quiet", "verbose",
+        "analysis",
     },
     "figures": set(),
     "refine": {
-        "workers", "strategy", "backend", "transport", "quiet", "verbose",
+        "workers", "strategy", "backend", "transport", "codec", "quiet",
+        "verbose",
     },
     "batch": {
         "workers", "jobs", "json", "no_cache", "reduction", "backend",
-        "transport", "trace", "quiet", "verbose",
+        "transport", "codec", "profile", "trace", "quiet", "verbose",
     },
     "witness": {
         "workers", "strategy", "reduction", "trace", "quiet", "verbose",
@@ -486,7 +498,7 @@ _COMMAND_FLAGS = {
     "lint": {"quiet", "verbose"},
     "all": {
         "workers", "strategy", "no_cache", "reduction", "backend",
-        "transport", "trace", "quiet", "verbose", "analysis",
+        "transport", "codec", "trace", "quiet", "verbose", "analysis",
     },
 }
 
@@ -500,6 +512,8 @@ def _parse_options(args, command: str) -> Optional[dict]:
         "reduction": "closure",
         "backend": "pipeline",
         "transport": None,  # auto: REPRO_TRANSPORT, then availability
+        "codec": None,  # auto: REPRO_CODEC, then the flat default
+        "profile": None,
         "trace": None,
         "quiet": False,
         "verbose": False,
@@ -520,7 +534,8 @@ def _parse_options(args, command: str) -> Optional[dict]:
             given.add("verbose")
         elif flag in (
             "--workers", "--strategy", "--jobs", "--json", "--reduction",
-            "--backend", "--transport", "--trace", "--analysis",
+            "--backend", "--transport", "--codec", "--profile", "--trace",
+            "--analysis",
         ):
             if i + 1 >= len(args):
                 return None
@@ -566,6 +581,18 @@ def _parse_options(args, command: str) -> Optional[dict]:
                     )
                     return None
                 options["transport"] = value
+            elif flag == "--codec":
+                from repro.engine import CODECS
+
+                if value not in CODECS:
+                    print(
+                        f"error: unknown codec {value!r}; expected "
+                        + " or ".join(CODECS)
+                    )
+                    return None
+                options["codec"] = value
+            elif flag == "--profile":
+                options["profile"] = value
             elif flag == "--analysis":
                 from repro.analysis import ANALYSIS_POLICIES
 
@@ -623,15 +650,37 @@ def main(argv) -> int:
         quiet=options.get("quiet", False),
         verbose=options.get("verbose", False),
     )
+    import os
+
+    env_sets = {}
+    if options.get("profile"):
+        # The profiling hook is environment-keyed so it reaches the
+        # pipeline workers (separate processes) as well as the
+        # sequential engine.
+        env_sets["REPRO_PROFILE"] = options["profile"]
+    if command == "batch" and options.get("codec"):
+        # The batch runner builds its per-job engines from the
+        # environment (see repro.engine.batch), so the flag rides the
+        # same channel REPRO_CODEC does.
+        env_sets["REPRO_CODEC"] = options["codec"]
+    saved = {k: os.environ.get(k) for k in env_sets}
+    os.environ.update(env_sets)
     ok = True
-    for i, job in enumerate(dispatch[command]):
-        if i:
-            print()
-        try:
-            ok &= job(options)
-        except ValueError as exc:  # bad strategy / job names, etc.
-            print(f"error: {exc}")
-            return 2
+    try:
+        for i, job in enumerate(dispatch[command]):
+            if i:
+                print()
+            try:
+                ok &= job(options)
+            except ValueError as exc:  # bad strategy / job names, etc.
+                print(f"error: {exc}")
+                return 2
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
     print()
     print("ALL CHECKS PASS" if ok else "SOME CHECKS FAILED")
     return 0 if ok else 1

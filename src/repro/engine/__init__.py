@@ -64,6 +64,7 @@ __all__ = [
     "BACKENDS",
     "BFSFrontier",
     "BatchReport",
+    "CODECS",
     "DEFAULT_MAX_STATES",
     "DFSFrontier",
     "ExplorationEngine",
@@ -98,6 +99,10 @@ def __getattr__(name: str):
         from repro.semantics.reduce import REDUCTIONS
 
         return REDUCTIONS
+    if name == "CODECS":
+        from repro.memory.flatcodec import CODECS
+
+        return CODECS
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -43,6 +43,10 @@ if TYPE_CHECKING:
 #: Default safety cap on explored configurations.
 DEFAULT_MAX_STATES = 500_000
 
+#: Process-wide profiler backing ``REPRO_PROFILE`` (lazily created by
+#: :func:`explore_sequential` so stats accumulate across explorations).
+_PROFILER = None
+
 
 def __getattr__(name: str):
     # ``REDUCTIONS`` lives in the policy registry
@@ -54,6 +58,13 @@ def __getattr__(name: str):
         from repro.semantics.reduce import REDUCTIONS
 
         return REDUCTIONS
+    # ``CODECS`` likewise lives with the wire formats themselves
+    # (repro.memory.flatcodec) — one registry, surfaced here for the
+    # engine-facing consumers (CLI choices, option validation).
+    if name == "CODECS":
+        from repro.memory.flatcodec import CODECS
+
+        return CODECS
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -94,6 +105,21 @@ def _check_transport(transport: str) -> str:
     return transport
 
 
+def _check_codec(codec: str) -> str:
+    """Validate a batch-codec spec against the codec registry
+    (:data:`repro.memory.flatcodec.CODECS` — "flat", the struct-packed
+    v2 wire format, or "pickle", the v1 ``__reduce__`` format kept as
+    measured fallback and parity reference)."""
+    from repro.memory.flatcodec import CODECS
+
+    if codec not in CODECS:
+        raise ValueError(
+            f"unknown batch codec {codec!r}; "
+            f"expected one of {', '.join(CODECS)}"
+        )
+    return codec
+
+
 def _check_analysis(policy: str) -> str:
     # Lazy for symmetry with the reduction registry (and to keep the
     # engine package import-light).
@@ -132,6 +158,50 @@ def key_function(
 
 
 def explore_sequential(
+    program: "Program",
+    max_states: int = DEFAULT_MAX_STATES,
+    collect_edges: bool = False,
+    canonicalise: bool = True,
+    check_invariants: bool = False,
+    on_config: Optional[Callable[["Config"], Optional[bool]]] = None,
+    strategy="bfs",
+    reduction: str = "off",
+    track_parents: bool = False,
+    metrics: Optional[Metrics] = None,
+    progress=None,
+) -> ExploreResult:
+    """See :func:`_explore_sequential`.  This wrapper adds the optional
+    profiling hook: when ``REPRO_PROFILE=FILE`` is set (or ``--profile``
+    on the CLI, which sets it), the exploration runs under
+    :mod:`cProfile` and the stats are dumped to ``FILE`` — the
+    sequential counterpart of the pipeline backend's per-worker
+    ``FILE.w<wid>`` dumps.  One process-wide profiler accumulates
+    across explorations, so after a battery (e.g. ``litmus``) ``FILE``
+    covers every exploration of the run, not just the last."""
+    import os
+
+    profile_to = os.environ.get("REPRO_PROFILE")
+    if profile_to:
+        global _PROFILER
+        if _PROFILER is None:
+            import cProfile
+
+            _PROFILER = cProfile.Profile()
+        try:
+            return _PROFILER.runcall(
+                _explore_sequential, program, max_states, collect_edges,
+                canonicalise, check_invariants, on_config, strategy,
+                reduction, track_parents, metrics, progress,
+            )
+        finally:
+            _PROFILER.dump_stats(profile_to)
+    return _explore_sequential(
+        program, max_states, collect_edges, canonicalise, check_invariants,
+        on_config, strategy, reduction, track_parents, metrics, progress,
+    )
+
+
+def _explore_sequential(
     program: "Program",
     max_states: int = DEFAULT_MAX_STATES,
     collect_edges: bool = False,
@@ -389,6 +459,14 @@ class ExplorationEngine:
         (``REPRO_TRANSPORT``, then ``"shm"`` where ``SharedMemory``
         works).  Result-identical either way; overridable per call.
         Ignored by ``"rounds"`` and when ``workers == 1``.
+    codec:
+        Batch wire format for the pipeline backend's cross-shard
+        traffic — ``"flat"`` (the pickle-free struct-packed v2 format,
+        :mod:`repro.memory.flatcodec`) or ``"pickle"`` (the v1
+        ``__reduce__`` format), or ``None`` (default) to resolve via
+        ``REPRO_CODEC`` then the ``"flat"`` default.  Value-identical
+        decoded batches either way; overridable per call.  Ignored by
+        ``"rounds"`` and when ``workers == 1``.
     metrics:
         Optional :class:`repro.obs.metrics.Metrics` sink.  When set (or
         when ``trace`` is), every exploration collects the engine
@@ -432,6 +510,7 @@ class ExplorationEngine:
         trace=None,
         progress=None,
         transport: Optional[str] = None,
+        codec: Optional[str] = None,
         analysis: str = "off",
     ) -> None:
         if workers < 1:
@@ -453,6 +532,7 @@ class ExplorationEngine:
         self.transport = (
             None if transport is None else _check_transport(transport)
         )
+        self.codec = None if codec is None else _check_codec(codec)
         self.metrics = metrics
         self.trace = trace
         self.progress = progress
@@ -481,6 +561,7 @@ class ExplorationEngine:
         track_parents: bool = False,
         backend: Optional[str] = None,
         transport: Optional[str] = None,
+        codec: Optional[str] = None,
         analysis: Optional[str] = None,
     ) -> ExploreResult:
         """Run one exploration, honouring this engine's configuration.
@@ -500,7 +581,9 @@ class ExplorationEngine:
         shortest-parent guarantee); note that the pipeline backend
         evaluates ``on_config`` worker-side — pure predicates only.
         ``transport`` overrides the engine's pipeline transport for
-        this call (``"shm"``/``"queue"``; None auto-resolves).
+        this call (``"shm"``/``"queue"``; None auto-resolves), and
+        ``codec`` the batch wire format (``"flat"``/``"pickle"``; None
+        resolves via ``REPRO_CODEC`` then defaults to ``"flat"``).
         """
         self.explorations += 1
         cap = self.max_states if max_states is None else max_states
@@ -515,6 +598,7 @@ class ExplorationEngine:
         chosen_transport = (
             self.transport if transport is None else _check_transport(transport)
         )
+        chosen_codec = self.codec if codec is None else _check_codec(codec)
         # A fresh per-run registry whenever any sink wants data; the
         # engine-level sink accumulates across explorations while
         # result.metrics stays per-run.
@@ -558,6 +642,7 @@ class ExplorationEngine:
                 track_parents=track_parents,
                 backend=chosen_backend,
                 transport=chosen_transport,
+                codec=chosen_codec,
                 metrics=run_metrics,
                 progress=self.progress,
                 trace=self.trace,

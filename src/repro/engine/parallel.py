@@ -209,6 +209,7 @@ def explore_parallel(
     progress=None,
     trace=None,
     transport: Optional[str] = None,
+    codec: Optional[str] = None,
 ) -> ExploreResult:
     """Explore ``program`` with ``workers`` processes, sharded by
     canonical-key digest — dispatching to the requested ``backend``
@@ -262,8 +263,10 @@ def explore_parallel(
 
     ``transport`` selects the pipeline backend's cross-shard data plane
     (``"shm"`` rings / ``"queue"`` blobs; None auto-resolves via
-    ``REPRO_TRANSPORT`` then availability) — pure performance, never
-    results; the rounds backend ignores it.
+    ``REPRO_TRANSPORT`` then availability) and ``codec`` its batch wire
+    format (``"flat"`` / ``"pickle"``; None resolves via ``REPRO_CODEC``
+    then defaults to flat) — pure performance, never results; the
+    rounds backend ignores both.
 
     ``metrics``/``progress``/``trace`` are the observability sinks
     (:mod:`repro.obs`), all defaulting to None (off).  Workers collect
@@ -323,6 +326,7 @@ def explore_parallel(
                 progress=progress,
                 trace=trace,
                 transport=transport,
+                codec=codec,
             )
         # Spawn-only host and an unpicklable callback: the rounds
         # backend evaluates on_config master-side and needs neither.

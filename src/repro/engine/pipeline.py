@@ -187,6 +187,30 @@ def resolve_transport(transport: Optional[str]) -> Tuple[str, str]:
     return "queue", "unavailable"
 
 
+def resolve_codec(codec: Optional[str]) -> Tuple[str, str]:
+    """Resolve the cross-shard batch wire format for this run.
+
+    Resolution order: explicit argument → ``REPRO_CODEC`` → the default
+    ``"flat"`` (the pickle-free v2 format,
+    :mod:`repro.memory.flatcodec`; ``"pickle"`` is the v1 format kept
+    as measured fallback and parity reference).  Returns
+    ``(codec, reason)`` with ``reason`` one of ``"requested"``,
+    ``"env"`` or ``"default"`` — emitted on the run's trace as an
+    ``explore.codec`` event.  Unlike the transport there is no
+    availability fallback: both codecs are pure Python and always
+    usable.
+    """
+    from repro.engine.core import _check_codec
+
+    reason = "requested"
+    if codec is None:
+        codec = os.environ.get("REPRO_CODEC") or None
+        reason = "env" if codec is not None else "default"
+    if codec is None:
+        return "flat", reason
+    return _check_codec(codec), reason
+
+
 def _budgets(max_states: int, workers: int) -> List[int]:
     """Per-shard admission budgets summing exactly to ``max_states``."""
     base, extra = divmod(max_states, workers)
@@ -210,6 +234,7 @@ def _worker_main(
     collect_metrics: bool = False,
     report_stats: bool = False,
     exchange=None,
+    codec_name: str = "flat",
 ) -> None:
     """One shard-owning worker: the whole exploration loop for shard
     ``wid``, from first admission to result fragment.
@@ -248,12 +273,29 @@ def _worker_main(
     worker's lifetime (capturing the reduction layer's counters plus
     shard/batch/codec-byte counts); its snapshot ships inside the
     ``done`` fragment under ``"metrics"`` for the master to merge.
+
+    ``codec_name`` selects the batch wire format this worker *encodes*
+    (``"flat"``/``"pickle"``); decoding always goes through the
+    magic-dispatching :func:`repro.memory.flatcodec.decode_batch`, so
+    mixed-codec traffic is well-defined.  When ``REPRO_PROFILE=FILE``
+    is set the worker runs under :mod:`cProfile` and dumps its stats to
+    ``FILE.w<wid>`` on exit (merged master-side into ``FILE``).
     """
+    profile_to = os.environ.get("REPRO_PROFILE")
+    prof = None
+    if profile_to:
+        import cProfile
+
+        prof = cProfile.Profile()
+        prof.enable()
     try:
         import gc
 
         from repro.engine.core import key_function, successor_function
         from repro.engine.parallel import _shard_of
+        from repro.memory.flatcodec import decode_batch, get_codec
+
+        codec = get_codec(codec_name)
 
         # A shard-owning worker accumulates an ever-growing heap of
         # *immutable, acyclic* semantic structures (configs, ops, view
@@ -335,7 +377,7 @@ def _worker_main(
             nonlocal consumed, finishing
             if msg[0] == "work":
                 consumed += 1
-                admit_batch(pickle.loads(msg[1]))
+                admit_batch(decode_batch(msg[1]))
             else:  # "finish"
                 finishing = True
 
@@ -382,7 +424,7 @@ def _worker_main(
         else:
 
             def flush(dst: int, buf: List) -> None:
-                blob = pickle.dumps(buf, pickle.HIGHEST_PROTOCOL)
+                blob = codec.encode_bytes(buf)
                 if m is not None:
                     m.inc("pipeline.batches")
                     m.inc("pipeline.blob_bytes", len(blob))
@@ -546,6 +588,13 @@ def _worker_main(
         except Exception:
             blob = None
         out.put(("error", wid, blob, traceback.format_exc()))
+    finally:
+        if prof is not None:
+            prof.disable()
+            try:
+                prof.dump_stats(f"{profile_to}.w{wid}")
+            except Exception:
+                pass  # profiling must never take a worker down
 
 
 def explore_pipeline(
@@ -563,6 +612,7 @@ def explore_pipeline(
     progress=None,
     trace=None,
     transport: Optional[str] = None,
+    codec: Optional[str] = None,
 ) -> ExploreResult:
     """Explore ``program`` with ``workers`` persistent shard-owning
     processes (see the module docstring).  Reached via
@@ -573,15 +623,19 @@ def explore_pipeline(
     (shared-memory rings, the default where available) or ``"queue"``
     (master-routed blobs); ``None`` resolves via
     :func:`resolve_transport` (env ``REPRO_TRANSPORT``, then
-    availability).  The choice never affects results, only throughput.
+    availability).  ``codec`` picks the batch wire format — ``"flat"``
+    (pickle-free struct-packed v2, the default) or ``"pickle"`` (the v1
+    reference); ``None`` resolves via :func:`resolve_codec` (env
+    ``REPRO_CODEC``, then the flat default).  Neither choice ever
+    affects results, only throughput and blob size.
 
     ``metrics``/``progress``/``trace`` are the observability sinks
     (:mod:`repro.obs`), all defaulting to None (off).  Worker metric
     fragments ride home inside the ``done`` messages and merge
     master-side; progress is fed by the workers' opt-in ``stat``
-    samples; ``trace`` gains one ``explore.transport`` event for the
-    resolved transport and one ``explore.drain`` event per worker
-    idle report.
+    samples; ``trace`` gains one ``explore.transport`` and one
+    ``explore.codec`` event for the resolved choices and one
+    ``explore.drain`` event per worker idle report.
     """
     from repro.engine.core import key_function
     from repro.engine.parallel import _pool_context, _shard_of
@@ -612,10 +666,12 @@ def explore_pipeline(
         )
 
     chosen_transport, why = resolve_transport(transport)
+    chosen_codec, codec_why = resolve_codec(codec)
     if trace is not None:
         trace.emit(
             "explore.transport", transport=chosen_transport, reason=why
         )
+        trace.emit("explore.codec", codec=chosen_codec, reason=codec_why)
 
     start = time.perf_counter()
     keyf = key_function(program, canonicalise)
@@ -630,7 +686,7 @@ def explore_pipeline(
     if chosen_transport == "shm":
         from repro.engine.shm import ShmExchange
 
-        exchange = ShmExchange(workers, ctx)
+        exchange = ShmExchange(workers, ctx, codec=chosen_codec)
     inboxes = [ctx.Queue() for _ in range(workers)]
     out = ctx.Queue()
     budgets = _budgets(max_states, workers)
@@ -643,7 +699,7 @@ def explore_pipeline(
                 keep_configs, on_config, budgets[w],
                 metrics is not None,
                 progress is not None and progress.enabled,
-                exchange,
+                exchange, chosen_codec,
             ),
             daemon=True,
         )
@@ -659,8 +715,10 @@ def explore_pipeline(
     reports: List[Optional[Tuple]] = [None] * workers  # shm counter vectors
     owner = _shard_of(init_key, workers)
     first = (init_key, init, None) if track_parents else (init_key, init)
+    from repro.memory.flatcodec import get_codec
+
     inboxes[owner].put(
-        ("work", pickle.dumps([first], pickle.HIGHEST_PROTOCOL))
+        ("work", get_codec(chosen_codec).encode_bytes([first]))
     )
     sent[owner] += 1
     if shm_mode:
@@ -800,6 +858,28 @@ def explore_pipeline(
             # their processes) — no segment survives the run, even an
             # unclean one.
             exchange.cleanup()
+
+    profile_to = os.environ.get("REPRO_PROFILE")
+    if profile_to:
+        # Merge the per-worker dumps (FILE.w<wid>) into one FILE so the
+        # profile reads like the sequential backend's, regardless of
+        # worker count.  Best-effort: a worker killed before its finally
+        # block simply contributes nothing.
+        import pstats
+
+        parts = [
+            f"{profile_to}.w{w}"
+            for w in range(workers)
+            if os.path.exists(f"{profile_to}.w{w}")
+        ]
+        if parts:
+            try:
+                stats = pstats.Stats(parts[0])
+                for part in parts[1:]:
+                    stats.add(part)
+                stats.dump_stats(profile_to)
+            except Exception:
+                pass  # profiling must never take the run down
 
     configs: Dict[bytes, "Config"] = {}
     parents: Optional[Dict[bytes, Optional[Tuple]]] = (

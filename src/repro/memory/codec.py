@@ -241,8 +241,17 @@ def encode_batch_into(batch, buf: memoryview) -> int:
 
 def decode_batch_from(buf) -> list:
     """Decode a batch from a buffer (``memoryview``/``bytes``) without
-    requiring the caller to copy it out first."""
-    return pickle.loads(buf)
+    requiring the caller to copy it out first.
+
+    Delegates to the wire-format dispatcher in
+    :mod:`repro.memory.flatcodec` (lazy import — flatcodec imports this
+    module), so the receive side is codec-agnostic: flat v2 frames,
+    v1/fallback pickle blobs and garbage all go through the same typed
+    error handling (:class:`~repro.memory.flatcodec.CodecError`).
+    """
+    from repro.memory.flatcodec import decode_batch
+
+    return decode_batch(buf)
 
 
 # -- pre-codec reference format ---------------------------------------------

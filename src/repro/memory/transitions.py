@@ -73,8 +73,17 @@ def read_steps(
     constructed or canonically keyed.  Synchronising candidates also
     merge the write's modification view and are never collapsed.
     """
+    candidates = gamma.obs(tid, var)
+    if not candidates:
+        return
+    # Invariant across candidates: the executing thread's viewfronts
+    # (and the mview table) belong to the pre-step states — hoisted out
+    # of the per-candidate loop.
+    gamma_tvm = gamma.thread_view_map(tid)
+    beta_tvm = None
+    gamma_mv = gamma.mview
     seen_values = None
-    for w in gamma.obs(tid, var):
+    for w in candidates:
         n = wrval(w.act)
         if forbid is not NO_FORBID and n == forbid:
             continue
@@ -90,13 +99,15 @@ def read_steps(
                 seen_values.add(n)
         action = mk_read(var, n, tid, acquire=acquire)
         if sync:
-            mv = gamma.mview[w]
-            tview2 = merge_views(gamma.thread_view_map(tid), mv)
-            ctview2 = merge_views(beta.thread_view_map(tid), mv)
+            mv = gamma_mv[w]
+            if beta_tvm is None:
+                beta_tvm = beta.thread_view_map(tid)
+            tview2 = merge_views(gamma_tvm, mv)
+            ctview2 = merge_views(beta_tvm, mv)
             gamma2 = gamma.with_thread_view(tid, tview2)
             beta2 = beta.with_thread_view(tid, ctview2)
         else:
-            tview2 = gamma.thread_view_map(tid).set(var, w)
+            tview2 = gamma_tvm.set(var, w)
             gamma2 = gamma.with_thread_view(tid, tview2)
             beta2 = beta
         yield action, w, gamma2, beta2
@@ -117,13 +128,22 @@ def write_steps(
     over both components (``mview' = tview' ∪ β.tview_t``) so that later
     synchronisation through this write updates views across components.
     """
-    for w in gamma.observable_uncovered(tid, var):
-        q_new = gamma.fresh_ts(var, w.ts)
-        action = mk_write(var, value, tid, release=release)
-        new_op = Op(action, q_new)
-        tview2 = gamma.thread_view_map(tid).set(var, new_op)
-        mview2 = view_union(tview2, beta.thread_view_map(tid))
-        gamma2 = gamma.add_op(new_op, mview2, tid, tview2)
+    candidates = gamma.observable_uncovered(tid, var)
+    if not candidates:
+        return
+    # Invariant across placement candidates: the action (same fields
+    # for every placement — only the timestamp differs, and that lives
+    # on the Op) and both pre-step viewfronts.
+    action = mk_write(var, value, tid, release=release)
+    gamma_tvm = gamma.thread_view_map(tid)
+    beta_tvm = beta.thread_view_map(tid)
+    fresh_ts = gamma.fresh_ts
+    add_op = gamma.add_op
+    for w in candidates:
+        new_op = Op(action, fresh_ts(var, w.ts))
+        tview2 = gamma_tvm.set(var, new_op)
+        mview2 = view_union(tview2, beta_tvm)
+        gamma2 = add_op(new_op, mview2, tid, tview2)
         yield action, w, gamma2, beta
 
 
@@ -147,23 +167,31 @@ def update_steps(
     acquires ``w``'s modification view into both components' thread views.
     The new operation's modification view is ``tview' ∪ ctview'``.
     """
-    for w in gamma.observable_uncovered(tid, var):
+    candidates = gamma.observable_uncovered(tid, var)
+    if not candidates:
+        return
+    # Invariant across candidates, as in write_steps.
+    gamma_tvm = gamma.thread_view_map(tid)
+    beta_tvm = beta.thread_view_map(tid)
+    gamma_mv = gamma.mview
+    fresh_ts = gamma.fresh_ts
+    add_op = gamma.add_op
+    for w in candidates:
         m = wrval(w.act)
         if expect is not None and m != expect:
             continue
         n = make_new(m)
-        q_new = gamma.fresh_ts(var, w.ts)
         action = mk_update(var, m, n, tid)
-        new_op = Op(action, q_new)
-        base_tview = gamma.thread_view_map(tid).set(var, new_op)
+        new_op = Op(action, fresh_ts(var, w.ts))
+        base_tview = gamma_tvm.set(var, new_op)
         if is_releasing(w.act):
-            mv = gamma.mview[w]
+            mv = gamma_mv[w]
             tview2 = merge_views(base_tview, mv)
-            ctview2 = merge_views(beta.thread_view_map(tid), mv)
+            ctview2 = merge_views(beta_tvm, mv)
         else:
             tview2 = base_tview
-            ctview2 = beta.thread_view_map(tid)
+            ctview2 = beta_tvm
         mview2 = view_union(tview2, ctview2)
-        gamma2 = gamma.add_op(new_op, mview2, tid, tview2, cover=w)
+        gamma2 = add_op(new_op, mview2, tid, tview2, cover=w)
         beta2 = beta.with_thread_view(tid, ctview2)
         yield action, w, gamma2, beta2

@@ -52,6 +52,16 @@ Counter schema — stable names; the same keys appear in trace
 ``pipeline.batches``                 cross-shard batches shipped (pipeline)
 ``pipeline.blob_bytes``              bytes of cross-shard codec blobs
                                      (pipeline, queue transport)
+``codec.encode_ns``                  nanoseconds spent encoding batch
+                                     blobs (either codec, both
+                                     transports)
+``codec.decode_ns``                  nanoseconds spent decoding batch
+                                     blobs
+``codec.table_entries``              intern-table entries written by the
+                                     flat codec (actions + timestamps +
+                                     names + command ASTs, per batch —
+                                     the shared-structure dedup the v2
+                                     wire format exists for)
 ``pipeline.batch_copies``            intermediate batch materialisations:
                                      deterministically 2 per batch on the
                                      queue transport (worker blob + master

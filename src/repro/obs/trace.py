@@ -36,6 +36,14 @@ consumers must ignore unknown fields; the fields below are guaranteed):
     rounds backend, start of one level-synchronous BFS round —
     ``round`` (1-based), ``frontier`` (configurations about to
     expand), ``states`` (admitted so far);
+``explore.transport``
+    pipeline backend, the resolved cross-shard data plane —
+    ``transport`` (``"shm"`` | ``"queue"``), ``reason``
+    (``"requested"`` | ``"env"`` | ``"default"`` | ``"unavailable"``);
+``explore.codec``
+    pipeline backend, the resolved batch wire format —
+    ``codec`` (``"flat"`` | ``"pickle"``), ``reason``
+    (``"requested"`` | ``"env"`` | ``"default"``);
 ``explore.drain``
     pipeline backend, a worker drained its local frontier and went
     idle — ``worker`` (shard id), ``consumed`` (inbox batches
@@ -93,6 +101,7 @@ EVENTS: Dict[str, Dict[str, type]] = {
     "explore.cached": {"key": str},
     "explore.round": {"round": int, "frontier": int, "states": int},
     "explore.transport": {"transport": str, "reason": str},
+    "explore.codec": {"codec": str, "reason": str},
     "explore.drain": {"worker": int, "consumed": int},
     "metrics.sample": {"metrics": dict},
     "analysis.report": {"policy": str, "errors": int, "warnings": int},

@@ -52,47 +52,80 @@ def _enc_table(state: ComponentState) -> Dict[Op, Tuple]:
     """``op -> (action, rank)``: each operation's canonical encoding,
     with the rank read directly off its per-variable index position.
     The single rank-derivation walk shared by the canonical keys and the
-    refinement projection (:mod:`repro.refinement.traces`)."""
+    refinement projection (:mod:`repro.refinement.traces`).
+
+    A pure function of the (immutable) state, so the table is cached on
+    it: component states are shared across many configurations — a step
+    of one component leaves the other's state object untouched — and
+    the unchanged component's ranks are then read back instead of
+    re-derived for every successor.  Callers must treat the returned
+    table as read-only.
+    """
+    cached = state.__dict__.get("_enc_table")
+    if cached is not None:
+        return cached
     enc: Dict[Op, Tuple] = {}
     for seq, _ts in state.index.values():
         for i, op in enumerate(seq):
             enc[op] = (op.act, i)
+    object.__setattr__(state, "_enc_table", enc)
     return enc
 
 
-def _enc_state(state: ComponentState, enc: Dict[Op, Tuple]) -> Tuple:
-    """Encode one component under a combined ``op -> (action, rank)``
-    table.
+def _enc_state(
+    state: ComponentState, own: Dict[Op, Tuple], other: Dict[Op, Tuple]
+) -> Tuple:
+    """Encode one component under its own ``op -> (action, rank)``
+    table plus the other component's (modification views span both).
 
     All orderings inside the encoding are *structural*: operations are
     emitted by walking the per-variable index in (variable name, rank)
     order — already deterministic, so the modification-view sequence
     needs no sort at all (dom(mview) = ops), let alone the former
-    ``repr``-lexicographic one.
+    ``repr``-lexicographic one; view and thread-view entries come from
+    the maps' cached natural-order item tuples.  The two tables are
+    consulted without merging them into a throwaway combined dict:
+    ``ops``/``tview``/``cvd`` entries are own-component by invariant,
+    and only view entries can fall through to ``other``.  An encoding
+    that never fell through is a pure function of the state and is
+    cached on it.
     """
+    cached = state.__dict__.get("_enc_key")
+    if cached is not None:
+        return cached
     ops = []
     mview_items = []
     mv = state.mview
     index = state.index
+    own_get = own.get
+    foreign = False
     for var in sorted(index):
         for op in index[var][0]:
-            e = enc[op]
+            e = own[op]
             ops.append(e)
             view = mv.get(op)
             if view is not None:
-                mview_items.append(
-                    (
-                        e,
-                        tuple(
-                            sorted((x, enc[o]) for x, o in view.items())
-                        ),
-                    )
-                )
+                enc_view = []
+                for x, o in view.items_ordered():
+                    eo = own_get(o)
+                    if eo is None:
+                        eo = other[o]
+                        foreign = True
+                    enc_view.append((x, eo))
+                mview_items.append((e, tuple(enc_view)))
     tview = tuple(
-        sorted((key, enc[op]) for key, op in state.tview.items())
+        (key, own[op]) for key, op in state.tview.items_ordered()
     )
-    cvd = frozenset(enc[op] for op in state.cvd)
-    return (frozenset(ops), tview, tuple(mview_items), cvd)
+    cvd = frozenset(own[op] for op in state.cvd)
+    key = (frozenset(ops), tview, tuple(mview_items), cvd)
+    if not foreign:
+        # The encoding consulted only this component's own rank table —
+        # it is then a pure function of the (immutable) state and is
+        # cached on it, like the table itself.  Encodings with
+        # cross-component view references stay per-call: they depend on
+        # the partner state's ranks too.
+        object.__setattr__(state, "_enc_key", key)
+    return key
 
 
 def canonical_key(program: Program, cfg: Config) -> Tuple:
@@ -107,20 +140,18 @@ def canonical_key(program: Program, cfg: Config) -> Tuple:
     cached = cfg.__dict__.get("_canonical_key")
     if cached is not None:
         return cached
-    enc = _enc_table(cfg.gamma)
-    enc.update(_enc_table(cfg.beta))
+    genc = _enc_table(cfg.gamma)
+    benc = _enc_table(cfg.beta)
 
-    cmds = tuple(sorted(cfg.cmds.items(), key=lambda kv: kv[0]))
+    cmds = cfg.cmds.items_ordered()
     locals_ = tuple(
-        sorted(
-            (tid, ls.items_sorted()) for tid, ls in cfg.locals.items()
-        )
+        (tid, ls.items_sorted()) for tid, ls in cfg.locals.items_ordered()
     )
     key = (
         cmds,
         locals_,
-        _enc_state(cfg.gamma, enc),
-        _enc_state(cfg.beta, enc),
+        _enc_state(cfg.gamma, genc, benc),
+        _enc_state(cfg.beta, benc, genc),
     )
     object.__setattr__(cfg, "_canonical_key", key)
     return key
@@ -144,21 +175,19 @@ def client_state_key(program: Program, cfg: Config) -> Tuple:
     gamma = cfg.gamma
     ops = frozenset(enc[op] for op in gamma.ops)
     tview = tuple(
-        sorted((key, enc[op]) for key, op in gamma.tview.items())
+        (key, enc[op]) for key, op in gamma.tview.items_ordered()
     )
     cvd = frozenset(enc[op] for op in gamma.cvd)
     locals_ = tuple(
-        sorted(
-            (
-                tid,
-                tuple(
-                    sorted(
-                        (r, v) for r, v in ls.items() if r not in lib_regs
-                    )
-                ),
-            )
-            for tid, ls in cfg.locals.items()
+        (
+            tid,
+            tuple(
+                sorted(
+                    (r, v) for r, v in ls.items() if r not in lib_regs
+                )
+            ),
         )
+        for tid, ls in cfg.locals.items_ordered()
     )
     key = (locals_, ops, tview, cvd)
     object.__setattr__(cfg, "_client_state_key", key)

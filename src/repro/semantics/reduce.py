@@ -193,44 +193,73 @@ def get_strategy(reduction: str) -> ReductionStrategy:
     return _REGISTRY[validate_reduction(reduction)]
 
 
+#: Memoised silent chains: ``(cmd, ls) -> (cmd', ls', fused)``.  The
+#: chain is a pure function of the continuation/locals pair (silent
+#: steps read nothing else), and the ε-closure re-walks the same chains
+#: constantly — every interleaving that reaches a thread at the same
+#: local point closes it identically.  Bounded by the same crude flush
+#: as the continuation-summary cache so long-lived processes don't
+#: retain dead programs' ASTs.
+_CHAINS: Dict[Tuple, Tuple] = {}
+_CHAINS_MAX = 100_000
+
+
+def _close_chain(cmd, ls) -> Tuple:
+    """Run (or replay) the maximal silent chain from ``(cmd, ls)``.
+
+    Returns ``(cmd', ls', fused)``.  Deterministic by homogeneity of
+    the step relation; diverging silent chains (a purely-local loop)
+    are cut off at the first revisited ``(continuation, locals)`` pair
+    or after :data:`MAX_SILENT_CHAIN` fused steps, whichever comes
+    first.  Memo hits replay the stored ``fused`` count into the active
+    metrics collector, so ``reduce.epsilon_fused`` is identical to the
+    unmemoised walk.
+    """
+    key = (cmd, ls)
+    cached = _CHAINS.get(key)
+    if cached is None:
+        visited = None
+        fused = 0
+        while cmd is not None and fused < MAX_SILENT_CHAIN:
+            step = silent_step(cmd, ls)
+            if step is None:
+                break
+            if visited is None:
+                visited = {(cmd, ls)}
+            elif (cmd, ls) in visited:
+                break  # divergent ε-loop: leave the silent edge in place
+            else:
+                visited.add((cmd, ls))
+            _comp, cmd, ls = step
+            fused += 1
+        cached = (cmd, ls, fused)
+        if len(_CHAINS) >= _CHAINS_MAX:
+            _CHAINS.clear()
+        _CHAINS[key] = cached
+    if cached[2] and _metrics._ACTIVE is not None:
+        _metrics._ACTIVE.inc("reduce.epsilon_fused", cached[2])
+    return cached
+
+
 def close_thread(cfg: Config, tid: str) -> Config:
     """Run thread ``tid``'s maximal chain of silent steps.
 
-    Deterministic by homogeneity of the step relation; diverging silent
-    chains (a purely-local loop) are cut off at the first revisited
-    ``(continuation, locals)`` pair or after :data:`MAX_SILENT_CHAIN`
-    fused steps, whichever comes first.  The closure contract — every
-    fused step is silent (``silent_step`` yields no action at all) and
-    leaves both component states untouched — is asserted at the call
-    sites (:func:`close_config`, :func:`reduced_successors`).
+    A thin wrapper over the memoised :func:`_close_chain`.  The closure
+    contract — every fused step is silent (``silent_step`` yields no
+    action at all) and leaves both component states untouched — holds
+    by construction: the chain maps only ``(cmd, ls)`` and the rebuilt
+    configuration reuses ``γ``/``β`` unchanged (still asserted at
+    :func:`close_config` as an interface check).
     """
     cmd = cfg.cmds[tid]
     if cmd is None:
         return cfg
-    ls = cfg.locals[tid]
-    visited = None
-    changed = False
-    fused = 0
-    while cmd is not None and fused < MAX_SILENT_CHAIN:
-        step = silent_step(cmd, ls)
-        if step is None:
-            break
-        if visited is None:
-            visited = {(cmd, ls)}
-        elif (cmd, ls) in visited:
-            break  # divergent ε-loop: leave the silent edge in place
-        else:
-            visited.add((cmd, ls))
-        _comp, cmd, ls = step
-        changed = True
-        fused += 1
-    if not changed:
+    cmd2, ls2, fused = _close_chain(cmd, cfg.locals[tid])
+    if not fused:
         return cfg
-    if _metrics._ACTIVE is not None:
-        _metrics._ACTIVE.inc("reduce.epsilon_fused", fused)
     return Config(
-        cmds=cfg.cmds.set(tid, cmd),
-        locals=cfg.locals.set(tid, ls),
+        cmds=cfg.cmds.set(tid, cmd2),
+        locals=cfg.locals.set(tid, ls2),
         gamma=cfg.gamma,
         beta=cfg.beta,
     )
@@ -266,24 +295,13 @@ def reduced_successors(program: Program, cfg: Config) -> List[Transition]:
     hand in closed configurations (the engine closes the initial one) —
     every target returned is then closed as well.
     """
-    out = successors(program, cfg, prune=True)
-    for i, tr in enumerate(out):
-        closed = close_thread(tr.target, tr.tid)
-        if closed is not tr.target:
-            # Closure contract, checked at the interface: the fused
-            # silent suffix carries no action by construction, and must
-            # not have touched the component states the visible step
-            # produced (fires if close_thread ever runs a non-silent
-            # step).
-            assert (
-                closed.gamma is tr.target.gamma
-                and closed.beta is tr.target.beta
-            ), "ε-closure altered a component state"
-            # Fresh Transition rather than in-place rebinding:
-            # transitions are hashable value objects and must stay
-            # immutable once handed out.
-            out[i] = Transition(tr.tid, tr.component, tr.action, closed)
-    return out
+    # The silent suffix is fused *inside* successor generation (the
+    # ``close`` hook), before each Transition/Config is built — no
+    # throwaway intermediate pair per closed successor.  The closure
+    # contract (component states untouched) holds by construction:
+    # ``_close_chain`` maps only ``(cmd, ls)``, and the target Config
+    # is assembled once from the visible step's ``γ``/``β``.
+    return successors(program, cfg, prune=True, close=_close_chain)
 
 
 # ---------------------------------------------------------------------------

@@ -91,7 +91,10 @@ _REST_EMPTY: _Rest = (frozenset(), False)
 
 
 def successors(
-    program: Program, cfg: Config, prune: bool = False
+    program: Program,
+    cfg: Config,
+    prune: bool = False,
+    close=None,
 ) -> List[Transition]:
     """All ``=⇒`` successors of ``cfg`` across every thread.
 
@@ -99,6 +102,14 @@ def successors(
     per-thread generator materialisation and second ``extend`` pass.
     ``prune=True`` enables the covering-read prune (sound only as part
     of the reduction layer; see :mod:`repro.semantics.reduce`).
+
+    ``close``, when given, is the reduction layer's ε-closure
+    ``(cmd, ls) -> (cmd', ls', fused)`` applied to each successor's
+    stepping thread *before* the transition is constructed: silent
+    chains touch only the continuation and locals by construction, so
+    fusing them here builds each macro-step target exactly once instead
+    of materialising a throwaway intermediate Transition/Config pair
+    per closed successor.
     """
     out: List[Transition] = []
     append = out.append
@@ -112,6 +123,8 @@ def successors(
             program, cmd, tid, ls, cfg.gamma, cfg.beta, in_lib=False,
             rest=rest,
         ):
+            if close is not None and cmd2 is not None:
+                cmd2, ls2, _fused = close(cmd2, ls2)
             append(
                 Transition(
                     tid, comp, action,

@@ -23,11 +23,13 @@ _ABSENT = object()
 class FMap(Mapping[K, V]):
     """Immutable hashable mapping with functional update."""
 
-    __slots__ = ("_d", "_hash")
+    __slots__ = ("_d", "_hash", "_sorted", "_ordered")
 
     def __init__(self, items: Mapping[K, V] | None = None) -> None:
         self._d: Dict[K, V] = dict(items) if items else {}
         self._hash: int | None = None
+        self._sorted: Tuple[Tuple[K, V], ...] | None = None
+        self._ordered: Tuple[Tuple[K, V], ...] | None = None
 
     # -- Mapping protocol -------------------------------------------------
     def __getitem__(self, key: K) -> V:
@@ -113,6 +115,8 @@ class FMap(Mapping[K, V]):
     def __setstate__(self, d) -> None:
         self._d = d
         self._hash = None
+        self._sorted = None
+        self._ordered = None
 
     # -- identity ----------------------------------------------------------
     def __hash__(self) -> int:
@@ -132,8 +136,24 @@ class FMap(Mapping[K, V]):
         return f"FMap({{{inner}}})"
 
     def items_sorted(self) -> Tuple[Tuple[K, V], ...]:
-        """Items in a deterministic order (for canonical encodings)."""
-        return tuple(sorted_items(self._d))
+        """Items in a deterministic order (for canonical encodings).
+        Cached — the map is immutable and canonical encodings revisit
+        shared maps constantly."""
+        s = self._sorted
+        if s is None:
+            s = self._sorted = tuple(sorted_items(self._d))
+        return s
+
+    def items_ordered(self) -> Tuple[Tuple[K, V], ...]:
+        """Items sorted by the keys' *natural* order (keys must be
+        mutually comparable — strings, tuples of strings).  Cached, like
+        :meth:`items_sorted`; preferred on hot canonical paths because
+        it skips the per-item ``repr``.  Unique keys mean the values are
+        never compared."""
+        o = self._ordered
+        if o is None:
+            o = self._ordered = tuple(sorted(self._d.items()))
+        return o
 
 
 def sorted_items(d: Mapping[Any, Any]):

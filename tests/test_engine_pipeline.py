@@ -8,7 +8,10 @@ five abstract-object/lock client programs, at 2 and 4 workers,
 under both reduction policies, on both the full-map and the summary
 (``keep_configs=False``) paths, over *both* cross-shard transports —
 ``"shm"`` (shared-memory rings, the zero-copy default) and ``"queue"``
-(master-routed blobs): transport choice must never change results.
+(master-routed blobs) — and over *both* batch wire codecs — ``"flat"``
+(the pickle-free struct-packed v2 format) and ``"pickle"`` (the v1
+reference): neither transport nor codec choice must ever change
+results.
 Where ``SharedMemory`` is unavailable the shm leg degrades to the
 documented auto-fallback (still queue semantics), so the suite stays
 green everywhere.  ``reachable``/``assert_invariant``-
@@ -40,6 +43,8 @@ WORKER_COUNTS = (2, 4)
 #: hosts without working SharedMemory (the parity obligations are
 #: identical either way).
 TRANSPORTS = ("shm", "queue")
+#: Both batch wire codecs (repro.memory.flatcodec.CODECS).
+CODECS = ("flat", "pickle")
 # The pipeline backend runs every pipeline-safe registered policy; the
 # registry is the single source of truth for which those are (dpor is
 # rejected — see TestPipelineBehaviour.test_rejects_non_pipeline_safe).
@@ -88,13 +93,15 @@ def _assert_parity(ref, par):
     assert bool(par.stuck) == bool(ref.stuck)
 
 
+@pytest.mark.parametrize("codec", CODECS)
 @pytest.mark.parametrize("transport", TRANSPORTS)
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
 @pytest.mark.parametrize("reduction", REDUCTIONS)
 class TestCatalogParity:
-    def test_full_litmus_catalog(self, workers, reduction, transport):
+    def test_full_litmus_catalog(self, workers, reduction, transport, codec):
         engine = ExplorationEngine(
-            workers=workers, reduction=reduction, transport=transport
+            workers=workers, reduction=reduction, transport=transport,
+            codec=codec,
         )
         assert engine.backend == "pipeline"
         for test in LITMUS_TESTS:
@@ -109,6 +116,7 @@ class TestCatalogParity:
                 ), test.name
 
 
+@pytest.mark.parametrize("codec", CODECS)
 @pytest.mark.parametrize("transport", TRANSPORTS)
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
 @pytest.mark.parametrize("reduction", REDUCTIONS)
@@ -116,9 +124,10 @@ class TestCatalogParity:
     "name,build", OBJECT_CLIENTS, ids=[n for n, _ in OBJECT_CLIENTS]
 )
 class TestObjectClientParity:
-    def test_client(self, workers, reduction, name, build, transport):
+    def test_client(self, workers, reduction, name, build, transport, codec):
         engine = ExplorationEngine(
-            workers=workers, reduction=reduction, transport=transport
+            workers=workers, reduction=reduction, transport=transport,
+            codec=codec,
         )
         ref = _reference(name, build, reduction)
         for keep_configs in (True, False):

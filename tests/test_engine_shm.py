@@ -39,13 +39,16 @@ def _ctx():
     )
 
 
-def _local_ring(capacity=1024):
+def _local_ring(capacity=1024, codec=None):
     """A ring over plain process-local memory (the ring logic never
-    cares where the buffer lives), with thread events."""
+    cares where the buffer lives), with thread events.  ``codec`` is an
+    optional :class:`repro.memory.flatcodec.BatchCodec` (None keeps the
+    v1 pickle wire format)."""
     buf = memoryview(bytearray(HEADER_SIZE + capacity))
     return Ring(
         buf, capacity,
         space_event=threading.Event(), data_event=threading.Event(),
+        codec=codec,
     )
 
 
@@ -159,6 +162,78 @@ class TestRing:
         buf = memoryview(bytearray(HEADER_SIZE + 100))
         with pytest.raises(ValueError, match="power of two"):
             Ring(buf, 100, threading.Event(), threading.Event())
+
+
+class TestRingCodec:
+    """Rings over each pluggable batch codec: the framing layer never
+    inspects blob contents, so every codec's wire format must ride
+    through publish/drain — including the flat codec's whole-batch
+    pickle fallback for non-``(digest, Config)`` payloads."""
+
+    @pytest.mark.parametrize("codec_name", ("flat", "pickle"))
+    def test_round_trip_with_each_codec(self, codec_name):
+        from repro.memory.flatcodec import get_codec
+
+        ring = _local_ring(codec=get_codec(codec_name))
+        batch = [(b"d1", ("cfg", 1)), (b"d2", ("cfg", 2))]
+        ring.publish(batch)
+        got = []
+        assert ring.drain(got.append) == 1
+        assert got == [batch]
+
+    @pytest.mark.parametrize("codec_name", ("flat", "pickle"))
+    def test_real_configs_round_trip(self, codec_name):
+        from repro.engine.fingerprint import stable_digest
+        from repro.litmus.catalog import LITMUS_TESTS
+        from repro.memory.flatcodec import get_codec
+        from repro.semantics.explore import explore
+
+        result = explore(LITMUS_TESTS[0].build())
+        batch = [
+            (stable_digest(repr(i).encode()), cfg)
+            for i, cfg in enumerate(list(result.configs.values())[:8])
+        ]
+        ring = _local_ring(capacity=1 << 16, codec=get_codec(codec_name))
+        ring.publish(batch)
+        got = []
+        assert ring.drain(got.append) == 1
+        assert got == [batch]
+
+    @pytest.mark.parametrize("codec_name", ("flat", "pickle"))
+    def test_chunked_oversize_survives_codec(self, codec_name):
+        from repro.memory.flatcodec import get_codec
+
+        ring = _local_ring(capacity=512, codec=get_codec(codec_name))
+        batch = [("big", "q" * 4000)]
+        consumed = []
+        done = threading.Event()
+
+        def consume():
+            while not consumed:
+                ring.drain(consumed.append)
+                time.sleep(0.001)
+            done.set()
+
+        t = threading.Thread(target=consume)
+        t.start()
+        ring.publish(batch)
+        assert done.wait(5.0)
+        t.join()
+        assert consumed == [batch]
+
+    def test_exchange_threads_codec_name_to_rings(self):
+        ctx = _ctx()
+        exchange = ShmExchange(2, ctx, capacity=4096, codec="flat")
+        try:
+            assert exchange.codec == "flat"
+            ring = exchange.ring(0, 1)
+            batch = [(b"d", ("payload",))]
+            ring.publish(batch)
+            got = []
+            assert exchange.ring(0, 1).drain(got.append) == 1
+            assert got == [batch]
+        finally:
+            exchange.cleanup()
 
 
 class TestEncodeInto:
@@ -347,4 +422,62 @@ class TestResolveTransport:
             validate_event(ev)
         selected = [e for e in events if e["ev"] == "explore.transport"]
         assert selected and selected[0]["transport"] == "shm"
+        assert selected[0]["reason"] == "requested"
+
+
+class TestResolveCodec:
+    """The documented codec resolution order (mirrors transport
+    resolution): explicit request, then ``REPRO_CODEC``, then the flat
+    default — recorded in the trace stream."""
+
+    def test_explicit_wins(self, monkeypatch):
+        from repro.engine.pipeline import resolve_codec
+
+        monkeypatch.setenv("REPRO_CODEC", "flat")
+        assert resolve_codec("pickle") == ("pickle", "requested")
+
+    def test_env_consulted_when_unspecified(self, monkeypatch):
+        from repro.engine.pipeline import resolve_codec
+
+        monkeypatch.setenv("REPRO_CODEC", "pickle")
+        assert resolve_codec(None) == ("pickle", "env")
+
+    def test_default_is_flat(self, monkeypatch):
+        from repro.engine.pipeline import resolve_codec
+
+        monkeypatch.delenv("REPRO_CODEC", raising=False)
+        assert resolve_codec(None) == ("flat", "default")
+
+    def test_bad_name_rejected(self):
+        from repro.engine.pipeline import resolve_codec
+
+        with pytest.raises(ValueError, match="codec"):
+            resolve_codec("bogus")
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        from repro.engine.pipeline import resolve_codec
+
+        monkeypatch.setenv("REPRO_CODEC", "bogus")
+        with pytest.raises(ValueError, match="codec"):
+            resolve_codec(None)
+
+    def test_trace_records_selection(self, tmp_path):
+        import json
+
+        from repro.engine import ExplorationEngine
+        from repro.litmus.catalog import LITMUS_TESTS
+        from repro.obs.trace import TraceWriter, validate_event
+
+        path = tmp_path / "trace.jsonl"
+        trace = TraceWriter(str(path))
+        engine = ExplorationEngine(workers=2, codec="pickle", trace=trace)
+        engine.explore(LITMUS_TESTS[0].build())
+        trace.close()
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        for ev in events:
+            validate_event(ev)
+        selected = [e for e in events if e["ev"] == "explore.codec"]
+        assert selected and selected[0]["codec"] == "pickle"
         assert selected[0]["reason"] == "requested"

@@ -1,0 +1,314 @@
+"""Wire format v2 (:mod:`repro.memory.flatcodec`): round-trip parity,
+fuzz-hardened decode, codec registry.
+
+The flat codec changes how cross-shard batches are written, never what
+they mean: a flat round-trip must be value-identical — equal configs,
+bit-identical canonical keys — across the litmus catalog, the five
+abstract-object/lock client programs and hypothesis-random programs,
+and must agree entry-for-entry with the v1 pickle codec it can fall
+back to.  The decode side is fuzz-hardened: truncations, bit flips,
+corrupted counts and wrong version bytes must surface as the typed
+:exc:`~repro.memory.flatcodec.CodecError` (a ``ValueError``), never a
+bare ``struct.error``/``IndexError``/``MemoryError`` from the guts of
+the decoder.
+"""
+
+import pickle
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.fingerprint import stable_digest
+from repro.litmus.catalog import LITMUS_TESTS
+from repro.memory import flatcodec
+from repro.memory.codec import BufferFull
+from repro.memory.flatcodec import (
+    CODECS,
+    MAGIC,
+    VERSION,
+    BatchCodec,
+    CodecError,
+    decode_batch,
+    encode_batch,
+    encode_batch_into,
+    get_codec,
+)
+from repro.semantics.canon import canonical_key
+from repro.semantics.explore import explore
+from tests.conftest import (
+    abstract_lock_client,
+    seqlock_client,
+    spinlock_client,
+    stack_program,
+    ticketlock_client,
+)
+from tests.test_property_semantics import programs
+
+OBJECT_CLIENTS = (
+    ("abstract-lock", abstract_lock_client),
+    ("seqlock", seqlock_client),
+    ("ticketlock", ticketlock_client),
+    ("spinlock", spinlock_client),
+    ("stack-mp", lambda: stack_program(sync=True)),
+)
+
+
+def _batch_of(result, limit=None, parents=False):
+    """A cross-shard-shaped batch from an exploration's configs."""
+    cfgs = list(result.configs.values())
+    if limit is not None:
+        cfgs = cfgs[:limit]
+    out = []
+    for i, cfg in enumerate(cfgs):
+        digest = stable_digest(repr(i).encode())
+        if parents:
+            out.append((digest, cfg, None))
+        else:
+            out.append((digest, cfg))
+    return out
+
+
+def _assert_equal_batches(program, got, want):
+    assert len(got) == len(want)
+    for ge, we in zip(got, want):
+        assert len(ge) == len(we)
+        assert ge[0] == we[0]
+        assert ge[1] == we[1]
+        assert canonical_key(program, ge[1]) == canonical_key(
+            program, we[1]
+        )
+        assert ge[2:] == we[2:]
+
+
+class TestRoundTripParity:
+    def test_litmus_catalog_bit_identical(self):
+        for test in LITMUS_TESTS:
+            program = test.build()
+            result = explore(program)
+            batch = _batch_of(result)
+            blob = encode_batch(batch)
+            assert blob[0] == MAGIC and blob[1] == VERSION
+            _assert_equal_batches(program, decode_batch(blob), batch)
+
+    @pytest.mark.parametrize(
+        "name,build", OBJECT_CLIENTS, ids=[n for n, _ in OBJECT_CLIENTS]
+    )
+    def test_object_clients_bit_identical(self, name, build):
+        program = build()
+        result = explore(program)
+        batch = _batch_of(result)
+        _assert_equal_batches(
+            program, decode_batch(encode_batch(batch)), batch
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(p=programs())
+    def test_random_programs_bit_identical(self, p):
+        result = explore(p, max_states=300)
+        batch = _batch_of(result)
+        _assert_equal_batches(p, decode_batch(encode_batch(batch)), batch)
+
+    def test_parent_edge_extras_round_trip(self):
+        program = LITMUS_TESTS[0].build()
+        result = explore(program)
+        batch = _batch_of(result, parents=True)
+        _assert_equal_batches(
+            program, decode_batch(encode_batch(batch)), batch
+        )
+
+    def test_agrees_with_pickle_codec(self):
+        """Both registered codecs decode to the same values (the parity
+        the transports rely on when mixing codec generations)."""
+        program = LITMUS_TESTS[0].build()
+        batch = _batch_of(explore(program))
+        flat = decode_batch(get_codec("flat").encode_bytes(batch))
+        pick = decode_batch(get_codec("pickle").encode_bytes(batch))
+        _assert_equal_batches(program, flat, pick)
+
+    def test_non_config_batch_falls_back_to_pickle(self):
+        """Control payloads and ad-hoc ring traffic are not flat
+        encodable; they ride the embedded v1 pickle format, which
+        decode_batch transparently accepts."""
+        blob = encode_batch([(b"digest", {"k": [1, 2, 3]})])
+        assert blob[0] != MAGIC  # pickle protocol 2+ opcode 0x80
+        assert decode_batch(blob) == [(b"digest", {"k": [1, 2, 3]})]
+
+    def test_decoded_ops_share_interned_objects(self):
+        """Decode-side interning spans batches: repeated actions and
+        timestamps come back as the same objects (cached hashes)."""
+        program = LITMUS_TESTS[0].build()
+        batch = _batch_of(explore(program), limit=4)
+        a = decode_batch(encode_batch(batch))
+        b = decode_batch(encode_batch(batch))
+        ga, gb = a[1][1].gamma, b[1][1].gamma
+        for op_a, op_b in zip(
+            sorted(ga.ops, key=lambda o: (repr(o.act), o.ts)),
+            sorted(gb.ops, key=lambda o: (repr(o.act), o.ts)),
+        ):
+            assert op_a.act is op_b.act
+
+
+class TestEncodeInto:
+    def test_matches_bytes_encoder(self):
+        program = LITMUS_TESTS[0].build()
+        batch = _batch_of(explore(program), limit=8)
+        blob = encode_batch(batch)
+        buf = memoryview(bytearray(len(blob) + 64))
+        n = encode_batch_into(batch, buf)
+        assert n == len(blob)
+        assert bytes(buf[:n]) == blob
+
+    def test_buffer_full_when_too_small(self):
+        program = LITMUS_TESTS[0].build()
+        batch = _batch_of(explore(program), limit=8)
+        with pytest.raises(BufferFull):
+            encode_batch_into(batch, memoryview(bytearray(16)))
+
+    def test_partial_write_stays_inside_buffer(self):
+        program = LITMUS_TESTS[0].build()
+        batch = _batch_of(explore(program), limit=8)
+        need = len(encode_batch(batch))
+        backing = bytearray(need // 2 + 16)
+        canary = b"\xAA" * 16
+        backing[-16:] = canary
+        with pytest.raises(BufferFull):
+            encode_batch_into(batch, memoryview(backing)[:-16])
+        assert bytes(backing[-16:]) == canary
+
+
+def _valid_blob():
+    program = LITMUS_TESTS[0].build()
+    result = explore(program)
+    return encode_batch(_batch_of(result, limit=10))
+
+
+class TestFuzzedDecode:
+    """Adversarial inputs: every failure is the typed CodecError."""
+
+    @pytest.fixture(scope="class")
+    def blob(self):
+        return _valid_blob()
+
+    def _decode_expecting_codec_error(self, data):
+        try:
+            decode_batch(data)
+        except CodecError:
+            pass  # the typed contract
+        except (struct.error, IndexError, KeyError, MemoryError) as exc:
+            pytest.fail(
+                f"bare {type(exc).__name__} escaped decode_batch: {exc}"
+            )
+        # A lucky mutation may still decode (e.g. a flipped bit inside
+        # an embedded digest): silence is acceptable, bare internal
+        # exceptions are not.
+
+    def test_empty_and_garbage_rejected(self):
+        with pytest.raises(CodecError):
+            decode_batch(b"")
+        with pytest.raises(CodecError):
+            decode_batch(b"\x00")
+        with pytest.raises(CodecError):
+            decode_batch(b"not a frame at all")
+
+    def test_wrong_version_rejected(self, blob):
+        bad = bytes([blob[0], VERSION + 1]) + blob[2:]
+        with pytest.raises(CodecError, match="version"):
+            decode_batch(bad)
+
+    def test_every_truncation_point(self, blob):
+        for cut in range(len(blob)):
+            self._decode_expecting_codec_error(blob[:cut])
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_random_bit_flips(self, blob, data):
+        pos = data.draw(st.integers(2, len(blob) - 1))
+        bit = data.draw(st.integers(0, 7))
+        mutated = bytearray(blob)
+        mutated[pos] ^= 1 << bit
+        self._decode_expecting_codec_error(bytes(mutated))
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_random_splices(self, blob, data):
+        """Chop a slice out / double a slice: structural corruption of
+        counts and back-references must stay typed."""
+        a = data.draw(st.integers(2, len(blob) - 1))
+        b = data.draw(st.integers(a, len(blob)))
+        if data.draw(st.booleans()):
+            mutated = blob[:a] + blob[b:]  # delete [a, b)
+        else:
+            mutated = blob[:a] + blob[a:b] + blob[a:]  # duplicate
+        self._decode_expecting_codec_error(mutated)
+
+    @settings(max_examples=100, deadline=None)
+    @given(junk=st.binary(min_size=1, max_size=64))
+    def test_random_junk_after_magic(self, junk):
+        self._decode_expecting_codec_error(
+            bytes([MAGIC, VERSION, 0]) + junk
+        )
+
+    def test_huge_claimed_count_rejected_before_allocation(self):
+        # count() must reject a count larger than the remaining bytes
+        # instead of trying to allocate/iterate it.
+        frame = bytes([MAGIC, VERSION, 0]) + b"\xff\xff\xff\xff\x7f"
+        with pytest.raises(CodecError):
+            decode_batch(frame)
+
+    def test_pickle_fallback_corruption_is_typed(self):
+        blob = pickle.dumps([(b"d", 1)], pickle.HIGHEST_PROTOCOL)
+        self._decode_expecting_codec_error(blob[: len(blob) // 2])
+
+
+class TestCodecRegistry:
+    def test_registry_names(self):
+        assert CODECS == ("flat", "pickle")
+
+    def test_get_codec_shapes(self):
+        for name in CODECS:
+            codec = get_codec(name)
+            assert isinstance(codec, BatchCodec)
+            assert codec.name == name
+            batch = [(b"d", ("payload", 1))]
+            blob = codec.encode_bytes(batch)
+            assert decode_batch(blob) == batch
+            buf = memoryview(bytearray(len(blob) + 32))
+            n = codec.encode_into(batch, buf)
+            assert codec.decode(buf[:n]) == batch
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError, match="flat"):
+            get_codec("bogus")
+
+    def test_engine_validates_codec(self):
+        from repro.engine import ExplorationEngine
+
+        with pytest.raises(ValueError, match="codec"):
+            ExplorationEngine(workers=2, codec="bogus")
+
+
+class TestMetrics:
+    def test_encode_decode_counters_recorded(self):
+        from repro.obs.metrics import Metrics, collecting
+
+        program = LITMUS_TESTS[0].build()
+        batch = _batch_of(explore(program), limit=8)
+        m = Metrics()
+        with collecting(m):
+            decode_batch(encode_batch(batch))
+        snap = m.snapshot()["counters"]
+        assert snap.get("codec.encode_ns", 0) > 0
+        assert snap.get("codec.decode_ns", 0) > 0
+        assert snap.get("codec.table_entries", 0) > 0
+
+    def test_pickle_codec_counters_recorded(self):
+        from repro.obs.metrics import Metrics, collecting
+
+        m = Metrics()
+        with collecting(m):
+            decode_batch(get_codec("pickle").encode_bytes([(b"d", 1)]))
+        snap = m.snapshot()["counters"]
+        assert snap.get("codec.encode_ns", 0) > 0
+        assert snap.get("codec.decode_ns", 0) > 0

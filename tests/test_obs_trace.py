@@ -120,6 +120,7 @@ class TestValidateEvent:
         assert set(EVENTS) == {
             "explore.start", "explore.finish", "explore.cached",
             "explore.round", "explore.drain", "explore.transport",
+            "explore.codec",
             "metrics.sample", "analysis.report",
             "litmus.start", "litmus.finish",
             "batch.start", "batch.finish",
